@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PMT-size ablation: the paper fixes 8-entry PMTs (Table 1). This
+ * sweep varies the dictionary size for DI-COMP/DI-VAXX and reports the
+ * compression ratio, packet latency and per-NI encoder area, exposing
+ * the capacity/area trade behind that choice.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/log.h"
+
+#include <algorithm>
+#include "power/area_model.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+namespace {
+
+ReplayResult
+run_with_pmt(const CommTrace &trace, Scheme scheme, std::size_t entries,
+             const BenchOptions &opt)
+{
+    NocConfig ncfg;
+    CodecConfig cc;
+    cc.n_nodes = ncfg.nodes();
+    cc.error_threshold_pct = opt.error_threshold_pct;
+    cc.dict.pmt_entries = entries;
+    auto codec = make_codec(scheme, cc);
+    Network net(ncfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    CommTrace capped;
+    for (const auto &b : trace.blocks())
+        capped.addBlock(b);
+    for (std::size_t i = 0; i < std::min(trace.size(), opt.max_records);
+         ++i)
+        capped.add(trace.records()[i]);
+    double natural = TraceLibrary::naturalLoad(capped, ncfg.nodes());
+    TraceReplay replay(net, capped,
+                       natural > 0 ? natural / opt.target_load : 1.0,
+                       opt.approx_ratio);
+    sim.add(&replay);
+    bool ok = sim.runUntil(
+        [&] { return replay.done() && net.drained(); },
+        static_cast<Cycle>(2e8));
+    ANOC_ASSERT(ok, "replay did not finish");
+
+    ReplayResult r;
+    r.total_lat = net.stats().total_lat.mean();
+    r.compression_ratio = net.stats().quality.compressionRatio();
+    r.exact_fraction = net.stats().quality.exactEncodedFraction();
+    r.approx_fraction = net.stats().quality.approxEncodedFraction();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt =
+        BenchOptions::parse(argc, argv, "Ablation: dictionary PMT size");
+    print_banner("Ablation (dictionary PMT size sweep)", opt);
+
+    std::vector<std::string> bms = {"blackscholes", "streamcluster"};
+    if (opt.benchmarks.size() < workload_names().size())
+        bms = opt.benchmarks;
+
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "scheme", "pmt_entries", "encoded_frac",
+             "compr_ratio", "latency", "encoder_mm2"});
+
+    for (const auto &bm : bms) {
+        const CommTrace &trace = traces.get(bm);
+        for (Scheme s : {Scheme::DiComp, Scheme::DiVaxx}) {
+            for (std::size_t entries : {4u, 8u, 16u, 32u}) {
+                ReplayResult r = run_with_pmt(trace, s, entries, opt);
+                DictionaryConfig dict;
+                dict.pmt_entries = entries;
+                dict.n_nodes = 32;
+                t.row()
+                    .cell(bm)
+                    .cell(to_string(s))
+                    .cell(static_cast<long>(entries))
+                    .cell(r.exact_fraction + r.approx_fraction, 3)
+                    .cell(r.compression_ratio, 3)
+                    .cell(r.total_lat, 2)
+                    .cell(encoder_area_mm2(s, dict, 32), 5);
+            }
+        }
+    }
+    emit(t, opt, "ablation_pmt_size");
+    return 0;
+}

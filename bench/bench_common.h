@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure bench harnesses: paper
+ * configuration, trace generation from the workload kernels, trace
+ * replay through the NoC under each scheme, and result table output.
+ */
+#ifndef APPROXNOC_BENCH_BENCH_COMMON_H
+#define APPROXNOC_BENCH_BENCH_COMMON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/approx_cache.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/codec_factory.h"
+#include "noc/network.h"
+#include "power/power_model.h"
+#include "sim/simulator.h"
+#include "traffic/replay.h"
+#include "traffic/trace.h"
+#include "workloads/workload.h"
+
+namespace approxnoc::bench {
+
+/** Everything a figure harness needs to run one experiment. */
+struct BenchOptions {
+    std::vector<std::string> benchmarks; ///< subset of workload_names()
+    std::vector<Scheme> schemes;         ///< subset of kAllSchemes
+    double error_threshold_pct = 10.0;   ///< Table 1 default
+    double approx_ratio = 0.75;          ///< Table 1 default
+    std::size_t max_records = 20000;     ///< trace replay cap
+    double target_load = 0.04;  ///< offered data flits/cycle/node in replay
+    Cycle cycles = 50000;       ///< synthetic run length
+    unsigned scale = 1;         ///< workload problem-size multiplier
+    std::string csv_dir = "results";
+    bool verbose = false;
+
+    /** Parse the common flags; prints usage and exits on --help. */
+    static BenchOptions parse(int argc, char **argv,
+                              const std::string &what);
+};
+
+/** Print the Table-1 style header every harness emits. */
+void print_banner(const std::string &figure, const BenchOptions &opt);
+
+/** Write @p t as results CSV (best effort) and print it. */
+void emit(const Table &t, const BenchOptions &opt, const std::string &name);
+
+/**
+ * Communication-trace cache: traces are generated once per benchmark
+ * by running the kernel through the cache model with a precise codec
+ * and a trace sink (the paper's gem5 trace-collection step).
+ */
+class TraceLibrary
+{
+  public:
+    explicit TraceLibrary(unsigned scale = 1) : scale_(scale) {}
+
+    /** The trace for @p benchmark (generated and cached on demand). */
+    const CommTrace &get(const std::string &benchmark);
+
+    /** Natural offered load of a trace in data-flits/cycle/node. */
+    static double naturalLoad(const CommTrace &t, unsigned n_nodes);
+
+  private:
+    unsigned scale_;
+    std::map<std::string, CommTrace> traces_;
+};
+
+/** Results of one trace replay through the NoC. */
+struct ReplayResult {
+    double queue_lat = 0.0;
+    double net_lat = 0.0;
+    double decode_lat = 0.0;
+    double total_lat = 0.0;
+    double quality = 1.0;          ///< data value quality
+    double exact_fraction = 0.0;   ///< Fig. 10a
+    double approx_fraction = 0.0;  ///< Fig. 10a
+    double compression_ratio = 1.0; ///< Fig. 10b
+    std::uint64_t data_flits = 0;  ///< Fig. 11
+    std::uint64_t packets = 0;
+    double dynamic_power_mw = 0.0; ///< Fig. 15
+    Cycle elapsed = 0;
+};
+
+/**
+ * Replay @p trace under @p scheme on the paper's 4x4 cmesh.
+ * Timestamps are scaled so the offered load matches
+ * @p opt.target_load; at most opt.max_records records are injected and
+ * the network is drained afterwards.
+ */
+ReplayResult replay_trace(const CommTrace &trace, Scheme scheme,
+                          const BenchOptions &opt);
+
+/** Scheme list parsing ("all" or comma-separated names). */
+std::vector<Scheme> parse_schemes(const std::string &s);
+/** Benchmark list parsing ("all" or comma-separated names). */
+std::vector<std::string> parse_benchmarks(const std::string &s);
+
+} // namespace approxnoc::bench
+
+#endif // APPROXNOC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extra experiment: memory-style request-reply round-trip latency per
+ * scheme under the self-throttling closed-loop generator — the
+ * end-to-end "miss latency" view of what the compression schemes buy,
+ * complementary to the open-loop/trace figures.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "traffic/closed_loop.h"
+#include "traffic/data_provider.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv, "Closed-loop request/reply round-trip latency");
+    print_banner("Closed-loop round-trip latency (extra experiment)", opt);
+
+    Table t({"scheme", "window", "round_trip", "replies", "data_flits"});
+    for (Scheme s : opt.schemes) {
+        for (unsigned window : {1u, 4u, 16u}) {
+            NocConfig ncfg;
+            CodecConfig cc;
+            cc.n_nodes = ncfg.nodes();
+            cc.error_threshold_pct = opt.error_threshold_pct;
+            auto codec = make_codec(s, cc);
+            Network net(ncfg, codec.get());
+            Simulator sim;
+            net.attach(sim);
+
+            ClosedLoopConfig lc;
+            lc.window = window;
+            lc.approx_ratio = opt.approx_ratio;
+            SyntheticDataProvider provider(DataType::Int32, 16, 0.9, 3.0,
+                                           opt.scale + 3, 0.7, 8);
+            ClosedLoopTraffic gen(net, lc, provider);
+            sim.add(&gen);
+
+            sim.run(opt.cycles);
+            gen.setEnabled(false);
+            bool ok = sim.runUntil(
+                [&] { return gen.quiesced() && net.drained(); }, 500000);
+
+            t.row()
+                .cell(to_string(s))
+                .cell(static_cast<long>(window))
+                .cell(ok ? gen.roundTrip().mean() : -1.0, 2)
+                .cell(static_cast<long>(gen.repliesReceived()))
+                .cell(static_cast<long>(net.dataFlitsInjected()));
+        }
+    }
+    emit(t, opt, "closed_loop_latency");
+    return 0;
+}

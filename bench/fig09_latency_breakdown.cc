@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 9: average packet latency broken into queueing, network and
+ * decode components, plus the overall data approximation quality, for
+ * Baseline / DI-COMP / DI-VAXX / FP-COMP / FP-VAXX across the eight
+ * benchmark traces (plus the average row).
+ */
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv, "Figure 9: latency breakdown + data quality");
+    print_banner("Figure 9 (latency breakdown, data quality)", opt);
+
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "scheme", "queue_lat", "net_lat", "decode_lat",
+             "total_lat", "data_quality"});
+
+    std::map<Scheme, std::vector<double>> avg_lat;
+    std::map<Scheme, std::vector<double>> avg_q;
+    for (const auto &bm : opt.benchmarks) {
+        const CommTrace &trace = traces.get(bm);
+        for (Scheme s : opt.schemes) {
+            ReplayResult r = replay_trace(trace, s, opt);
+            t.row()
+                .cell(bm)
+                .cell(to_string(s))
+                .cell(r.queue_lat, 2)
+                .cell(r.net_lat, 2)
+                .cell(r.decode_lat, 2)
+                .cell(r.total_lat, 2)
+                .cell(r.quality, 4);
+            avg_lat[s].push_back(r.total_lat);
+            avg_q[s].push_back(r.quality);
+        }
+    }
+    for (Scheme s : opt.schemes) {
+        double lat = 0, q = 0;
+        for (double v : avg_lat[s])
+            lat += v;
+        for (double v : avg_q[s])
+            q += v;
+        std::size_t n = avg_lat[s].size();
+        t.row()
+            .cell(std::string("AVG"))
+            .cell(to_string(s))
+            .cell(std::string("-"))
+            .cell(std::string("-"))
+            .cell(std::string("-"))
+            .cell(lat / n, 2)
+            .cell(q / n, 4);
+    }
+    emit(t, opt, "fig09_latency_breakdown");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 10: (a) fraction of words encoded, split into exact
+ * compression and approximation, and (b) compression ratio, per
+ * benchmark and scheme (geometric-mean row included, as the paper
+ * plots GMEAN).
+ */
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv, "Figure 10: encoded-word fraction + compression ratio");
+    print_banner("Figure 10 (encoded fraction, compression ratio)", opt);
+
+    // The paper plots the four compression schemes (no Baseline bar).
+    std::vector<Scheme> schemes;
+    for (Scheme s : opt.schemes)
+        if (s != Scheme::Baseline)
+            schemes.push_back(s);
+
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "scheme", "exact_frac", "approx_frac",
+             "encoded_frac", "compr_ratio"});
+
+    std::map<Scheme, std::pair<double, double>> gmean; // log sums
+    std::map<Scheme, std::size_t> count;
+    for (const auto &bm : opt.benchmarks) {
+        const CommTrace &trace = traces.get(bm);
+        for (Scheme s : schemes) {
+            ReplayResult r = replay_trace(trace, s, opt);
+            t.row()
+                .cell(bm)
+                .cell(to_string(s))
+                .cell(r.exact_fraction, 3)
+                .cell(r.approx_fraction, 3)
+                .cell(r.exact_fraction + r.approx_fraction, 3)
+                .cell(r.compression_ratio, 3);
+            double ef = std::max(1e-6, r.exact_fraction + r.approx_fraction);
+            gmean[s].first += std::log(ef);
+            gmean[s].second += std::log(std::max(1e-6, r.compression_ratio));
+            ++count[s];
+        }
+    }
+    for (Scheme s : schemes) {
+        double n = static_cast<double>(count[s]);
+        t.row()
+            .cell(std::string("GMEAN"))
+            .cell(to_string(s))
+            .cell(std::string("-"))
+            .cell(std::string("-"))
+            .cell(std::exp(gmean[s].first / n), 3)
+            .cell(std::exp(gmean[s].second / n), 3);
+    }
+    emit(t, opt, "fig10_compression");
+    return 0;
+}

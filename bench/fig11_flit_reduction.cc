@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 11: number of data flits injected under each scheme,
+ * normalized to Baseline, per benchmark trace.
+ */
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv, "Figure 11: normalized data flits injected");
+    print_banner("Figure 11 (data flit reduction)", opt);
+
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "scheme", "data_flits", "normalized"});
+
+    std::map<Scheme, double> sums;
+    std::size_t rows = 0;
+    for (const auto &bm : opt.benchmarks) {
+        const CommTrace &trace = traces.get(bm);
+        std::uint64_t base_flits = 0;
+        for (Scheme s : opt.schemes) {
+            ReplayResult r = replay_trace(trace, s, opt);
+            if (s == Scheme::Baseline)
+                base_flits = r.data_flits;
+            double norm = base_flits
+                              ? static_cast<double>(r.data_flits) /
+                                    static_cast<double>(base_flits)
+                              : 1.0;
+            t.row()
+                .cell(bm)
+                .cell(to_string(s))
+                .cell(static_cast<long>(r.data_flits))
+                .cell(norm, 3);
+            sums[s] += norm;
+        }
+        ++rows;
+    }
+    for (Scheme s : opt.schemes) {
+        t.row()
+            .cell(std::string("AVG"))
+            .cell(to_string(s))
+            .cell(std::string("-"))
+            .cell(sums[s] / static_cast<double>(rows), 3);
+    }
+    emit(t, opt, "fig11_flit_reduction");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 12: load-latency curves under synthetic traffic whose data
+ * payloads replay benchmark blocks (blackscholes and streamcluster),
+ * for Uniform Random and Transpose patterns, 25:75 data:control packet
+ * mix. One series per scheme; points past saturation are reported as
+ * "sat".
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "traffic/data_provider.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+namespace {
+
+/** Latency at one offered load; negative when saturated. */
+double
+measure_point(Scheme scheme, TrafficPattern pattern, double rate,
+              const std::vector<DataBlock> &blocks, const BenchOptions &opt)
+{
+    NocConfig ncfg;
+    CodecConfig cc;
+    cc.n_nodes = ncfg.nodes();
+    cc.error_threshold_pct = opt.error_threshold_pct;
+    auto codec = make_codec(scheme, cc);
+    Network net(ncfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    SyntheticConfig tc;
+    tc.injection_rate = rate;
+    tc.data_packet_ratio = 0.25; // paper Fig. 12: 25:75
+    tc.pattern = pattern;
+    tc.approx_ratio = opt.approx_ratio;
+    TraceDataProvider provider(blocks);
+    SyntheticTraffic gen(net, tc, provider);
+    sim.add(&gen);
+
+    // BookSim-style methodology: warm up, reset the series, measure.
+    Cycle warmup = opt.cycles / 5;
+    sim.run(warmup);
+    net.stats().reset();
+    std::uint64_t offered0 = gen.packetsOffered();
+    sim.run(opt.cycles - warmup);
+
+    // Saturation detection: offered vs delivered and queue blow-up.
+    double avg = net.stats().total_lat.mean();
+    std::uint64_t delivered = net.stats().packets_delivered.value();
+    std::uint64_t offered = gen.packetsOffered() - offered0;
+    if (delivered < offered * 7 / 10 || avg > 300.0)
+        return -1.0;
+    return avg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt =
+        BenchOptions::parse(argc, argv, "Figure 12: throughput curves");
+    print_banner("Figure 12 (load-latency, UR & TR, 25:75 data:control)",
+                 opt);
+
+    std::vector<std::string> bms = {"blackscholes", "streamcluster"};
+    if (opt.benchmarks.size() < workload_names().size())
+        bms = opt.benchmarks; // user narrowed the set
+
+    // Finer steps near saturation so scheme crossover points resolve.
+    const std::vector<double> rates = {0.05, 0.15, 0.25, 0.35, 0.40,
+                                       0.45, 0.50, 0.55, 0.60, 0.65,
+                                       0.70};
+
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "pattern", "scheme", "rate", "latency"});
+    for (const auto &bm : bms) {
+        const CommTrace &trace = traces.get(bm);
+        for (TrafficPattern pat :
+             {TrafficPattern::UniformRandom, TrafficPattern::Transpose}) {
+            for (Scheme s : opt.schemes) {
+                bool saturated = false;
+                for (double rate : rates) {
+                    std::string lat = "sat";
+                    if (!saturated) {
+                        double v =
+                            measure_point(s, pat, rate, trace.blocks(), opt);
+                        if (v < 0)
+                            saturated = true;
+                        else
+                            lat = fmt(v, 2);
+                    }
+                    t.row()
+                        .cell(bm)
+                        .cell(to_string(pat))
+                        .cell(to_string(s))
+                        .cell(rate, 2)
+                        .cell(lat);
+                }
+            }
+        }
+    }
+    emit(t, opt, "fig12_throughput");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 13: error-threshold sensitivity. For each benchmark and each
+ * of the DI-based and FP-based families, average packet latency with
+ * plain compression (0% threshold) and VAXX at 5%, 10% and 20%.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv, "Figure 13: error threshold sensitivity");
+    print_banner("Figure 13 (error-threshold sensitivity)", opt);
+
+    const std::vector<double> thresholds = {5.0, 10.0, 20.0};
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "family", "compression", "5%_threshold",
+             "10%_threshold", "20%_threshold"});
+
+    struct Family {
+        const char *name;
+        Scheme compression;
+        Scheme vaxx;
+    };
+    const Family families[] = {
+        {"DI-based", Scheme::DiComp, Scheme::DiVaxx},
+        {"FP-based", Scheme::FpComp, Scheme::FpVaxx},
+    };
+
+    for (const auto &bm : opt.benchmarks) {
+        const CommTrace &trace = traces.get(bm);
+        for (const Family &f : families) {
+            BenchOptions o = opt;
+            ReplayResult base = replay_trace(trace, f.compression, o);
+            std::vector<double> lat;
+            for (double th : thresholds) {
+                o.error_threshold_pct = th;
+                lat.push_back(replay_trace(trace, f.vaxx, o).total_lat);
+            }
+            t.row()
+                .cell(bm)
+                .cell(std::string(f.name))
+                .cell(base.total_lat, 2)
+                .cell(lat[0], 2)
+                .cell(lat[1], 2)
+                .cell(lat[2], 2);
+        }
+    }
+    emit(t, opt, "fig13_error_threshold");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 14: approximable-packet-ratio sensitivity. Average packet
+ * latency for the DI-based and FP-based VAXX schemes as the fraction
+ * of approximable data packets grows from 25% to 75%, against plain
+ * compression.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv, "Figure 14: approximable packet ratio sensitivity");
+    print_banner("Figure 14 (approximable-ratio sensitivity)", opt);
+
+    const std::vector<double> ratios = {0.25, 0.50, 0.75};
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "family", "compression", "25%_approx",
+             "50%_approx", "75%_approx"});
+
+    struct Family {
+        const char *name;
+        Scheme compression;
+        Scheme vaxx;
+    };
+    const Family families[] = {
+        {"DI-based", Scheme::DiComp, Scheme::DiVaxx},
+        {"FP-based", Scheme::FpComp, Scheme::FpVaxx},
+    };
+
+    for (const auto &bm : opt.benchmarks) {
+        const CommTrace &trace = traces.get(bm);
+        for (const Family &f : families) {
+            ReplayResult base = replay_trace(trace, f.compression, opt);
+            std::vector<double> lat;
+            for (double ratio : ratios) {
+                BenchOptions o = opt;
+                o.approx_ratio = ratio;
+                lat.push_back(replay_trace(trace, f.vaxx, o).total_lat);
+            }
+            t.row()
+                .cell(bm)
+                .cell(std::string(f.name))
+                .cell(base.total_lat, 2)
+                .cell(lat[0], 2)
+                .cell(lat[1], 2)
+                .cell(lat[2], 2);
+        }
+    }
+    emit(t, opt, "fig14_approx_ratio");
+    return 0;
+}

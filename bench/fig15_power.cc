@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 15: dynamic power consumption per benchmark and scheme,
+ * normalized to Baseline, from the event-energy power model.
+ */
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt =
+        BenchOptions::parse(argc, argv, "Figure 15: dynamic power");
+    print_banner("Figure 15 (dynamic power, normalized to Baseline)", opt);
+
+    TraceLibrary traces(opt.scale);
+    Table t({"benchmark", "scheme", "dyn_power_mw", "normalized",
+             "edp_normalized"});
+
+    std::map<Scheme, double> sums;
+    std::map<Scheme, double> edp_sums;
+    std::size_t rows = 0;
+    for (const auto &bm : opt.benchmarks) {
+        const CommTrace &trace = traces.get(bm);
+        double base_mw = 0.0, base_lat = 0.0;
+        for (Scheme s : opt.schemes) {
+            ReplayResult r = replay_trace(trace, s, opt);
+            if (s == Scheme::Baseline) {
+                base_mw = r.dynamic_power_mw;
+                base_lat = r.total_lat;
+            }
+            double norm =
+                base_mw > 0 ? r.dynamic_power_mw / base_mw : 1.0;
+            // Energy-delay product relative to Baseline: the combined
+            // efficiency view (compression wins on both axes).
+            double edp = base_mw > 0 && base_lat > 0
+                             ? norm * (r.total_lat / base_lat)
+                             : 1.0;
+            t.row()
+                .cell(bm)
+                .cell(to_string(s))
+                .cell(r.dynamic_power_mw, 3)
+                .cell(norm, 3)
+                .cell(edp, 3);
+            sums[s] += norm;
+            edp_sums[s] += edp;
+        }
+        ++rows;
+    }
+    for (Scheme s : opt.schemes) {
+        t.row()
+            .cell(std::string("AVG"))
+            .cell(to_string(s))
+            .cell(std::string("-"))
+            .cell(sums[s] / static_cast<double>(rows), 3)
+            .cell(edp_sums[s] / static_cast<double>(rows), 3);
+    }
+    emit(t, opt, "fig15_power");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 16: application output error and normalized performance as
+ * the data error budget grows (0 / 10 / 20 %), from full workload runs
+ * through the coherent cache model with the codec on the response
+ * path (the paper's Pin + gem5 methodology).
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+namespace {
+
+WorkloadResult
+run_workload(const std::string &bm, Scheme scheme, double threshold,
+             const BenchOptions &opt)
+{
+    CacheConfig ccfg; // Sec. 5.4: 16 cores, 64 KB 2-way L1
+    ccfg.approx_ratio = opt.approx_ratio;
+    CodecConfig cc;
+    cc.n_nodes = ccfg.n_nodes;
+    cc.error_threshold_pct = threshold;
+    auto codec = make_codec(scheme, cc);
+    ApproxCacheSystem mem(ccfg, codec.get());
+    auto wl = make_workload(bm, opt.scale);
+    return wl->run(mem);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv,
+        "Figure 16: application output accuracy + normalized performance");
+    print_banner("Figure 16 (application output error, performance)", opt);
+    // DI-VAXX by default: approximating to learned reference values
+    // surfaces the error-budget sensitivity the paper's Fig. 16 plots
+    // (FP-VAXX's static patterns rarely alter integer data at all).
+    Scheme scheme = Scheme::DiVaxx;
+    if (opt.schemes.size() < 5) { // user narrowed the scheme set
+        for (Scheme s : opt.schemes)
+            if (s == Scheme::DiVaxx || s == Scheme::FpVaxx)
+                scheme = s;
+    }
+    std::printf("scheme for approximate runs: %s "
+                "(select with --schemes=FP-VAXX / DI-VAXX)\n\n",
+                to_string(scheme).c_str());
+
+    const std::vector<double> budgets = {0.0, 10.0, 20.0};
+    Table t({"benchmark", "error_budget_pct", "output_error_pct",
+             "accuracy_pct", "normalized_performance"});
+
+    for (const auto &bm : opt.benchmarks) {
+        auto wl = make_workload(bm, opt.scale);
+        WorkloadResult precise = run_workload(bm, Scheme::Baseline, 0.0, opt);
+        // 0% budget reference for performance normalization: the same
+        // scheme with approximation disabled (pure compression).
+        WorkloadResult ref = run_workload(bm, scheme, 0.0, opt);
+        for (double budget : budgets) {
+            WorkloadResult r = budget == 0.0
+                                   ? ref
+                                   : run_workload(bm, scheme, budget, opt);
+            double err = wl->outputError(precise, r);
+            double perf = r.exec_cycles
+                              ? static_cast<double>(ref.exec_cycles) /
+                                    static_cast<double>(r.exec_cycles)
+                              : 1.0;
+            t.row()
+                .cell(bm)
+                .cell(budget, 0)
+                .cell(err * 100.0, 2)
+                .cell((1.0 - err) * 100.0, 2)
+                .cell(perf, 3);
+        }
+    }
+    emit(t, opt, "fig16_app_output");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 17: bodytrack precise vs approximate output. Runs the
+ * tracker precisely and with a 10% data error budget, writes both
+ * rendered outputs as PGM images, and reports the output vector
+ * difference (the paper observes 2.4% at a 10% threshold).
+ */
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/bench_common.h"
+#include "workloads/kernels.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+namespace {
+
+void
+write_pgm(const std::string &path, const std::vector<std::uint8_t> &img,
+          unsigned w, unsigned h)
+{
+    std::ofstream f(path, std::ios::binary);
+    f << "P5\n" << w << " " << h << "\n255\n";
+    f.write(reinterpret_cast<const char *>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+}
+
+WorkloadResult
+run_bodytrack(BodytrackWorkload &wl, Scheme scheme, double threshold,
+              const BenchOptions &opt)
+{
+    CacheConfig ccfg;
+    ccfg.approx_ratio = opt.approx_ratio;
+    CodecConfig cc;
+    cc.n_nodes = ccfg.n_nodes;
+    cc.error_threshold_pct = threshold;
+    auto codec = make_codec(scheme, cc);
+    ApproxCacheSystem mem(ccfg, codec.get());
+    return wl.run(mem);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(
+        argc, argv, "Figure 17: bodytrack precise vs approximate output");
+    print_banner("Figure 17 (bodytrack visual comparison)", opt);
+
+    BodytrackWorkload wl(opt.scale);
+    WorkloadResult precise =
+        run_bodytrack(wl, Scheme::Baseline, 0.0, opt);
+    WorkloadResult approx =
+        run_bodytrack(wl, Scheme::FpVaxx, opt.error_threshold_pct, opt);
+
+    std::error_code ec;
+    std::filesystem::create_directories(opt.csv_dir, ec);
+    auto img_p = wl.renderOutput(precise);
+    auto img_a = wl.renderOutput(approx);
+    write_pgm(opt.csv_dir + "/fig17_precise.pgm", img_p, wl.imageWidth(),
+              wl.imageHeight());
+    write_pgm(opt.csv_dir + "/fig17_approx.pgm", img_a, wl.imageWidth(),
+              wl.imageHeight());
+
+    double err = wl.outputError(precise, approx);
+    double pix_diff = 0.0;
+    for (std::size_t i = 0; i < img_p.size(); ++i)
+        pix_diff += std::abs(int(img_p[i]) - int(img_a[i]));
+    pix_diff /= 255.0 * static_cast<double>(img_p.size());
+
+    Table t({"metric", "value"});
+    t.row().cell(std::string("error threshold (%)"))
+        .cell(opt.error_threshold_pct, 0);
+    t.row().cell(std::string("output vector difference (%)"))
+        .cell(err * 100.0, 4);
+    t.row().cell(std::string("rendered image difference (%)"))
+        .cell(pix_diff * 100.0, 4);
+    emit(t, opt, "fig17_bodytrack");
+    std::printf("[images: %s/fig17_precise.pgm, %s/fig17_approx.pgm]\n",
+                opt.csv_dir.c_str(), opt.csv_dir.c_str());
+    return 0;
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the codec datapath primitives:
+ * AVCL analysis, FPC matching/decoding, TCAM search and block-level
+ * encode for each scheme.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "approx/avcl.h"
+#include "common/bits.h"
+#include "approx/di_vaxx.h"
+#include "approx/fp_vaxx.h"
+#include "approx/window_vaxx.h"
+#include "compression/wire.h"
+#include "common/rng.h"
+#include "compression/dictionary.h"
+#include "compression/fpc.h"
+#include "tcam/tcam.h"
+
+using namespace approxnoc;
+
+namespace {
+
+std::vector<Word>
+random_words(std::size_t n, std::uint64_t seed, bool small_values)
+{
+    Rng rng(seed);
+    std::vector<Word> ws(n);
+    for (auto &w : ws) {
+        w = static_cast<Word>(rng.bits());
+        if (small_values)
+            w = sign_extend32(w & 0xFFFF, 16);
+    }
+    return ws;
+}
+
+void
+BM_AvclAnalyzeInt(benchmark::State &state)
+{
+    Avcl avcl{ErrorModel(10.0)};
+    auto ws = random_words(4096, 1, false);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            avcl.analyze(ws[i++ & 4095], DataType::Int32));
+    }
+}
+BENCHMARK(BM_AvclAnalyzeInt);
+
+void
+BM_AvclAnalyzeFloat(benchmark::State &state)
+{
+    Avcl avcl{ErrorModel(10.0)};
+    auto ws = random_words(4096, 2, false);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            avcl.analyze(ws[i++ & 4095], DataType::Float32));
+    }
+}
+BENCHMARK(BM_AvclAnalyzeFloat);
+
+void
+BM_FpcMatchExact(benchmark::State &state)
+{
+    auto ws = random_words(4096, 3, true);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fpc_match(ws[i++ & 4095], 0));
+}
+BENCHMARK(BM_FpcMatchExact);
+
+void
+BM_FpcMatchApprox(benchmark::State &state)
+{
+    auto ws = random_words(4096, 4, true);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fpc_match(ws[i++ & 4095], 8));
+}
+BENCHMARK(BM_FpcMatchApprox);
+
+void
+BM_TcamSearch(benchmark::State &state)
+{
+    Tcam tcam(static_cast<std::size_t>(state.range(0)));
+    Rng rng(5);
+    for (std::size_t e = 0; e < tcam.capacity(); ++e)
+        tcam.insert(TernaryPattern{static_cast<Word>(rng.bits()),
+                                   low_mask32(6)});
+    auto ws = random_words(4096, 6, false);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tcam.search(ws[i++ & 4095]));
+}
+BENCHMARK(BM_TcamSearch)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_EncodeBlock(benchmark::State &state)
+{
+    // One 64 B block of value-local int data per iteration.
+    Rng rng(7);
+    std::vector<DataBlock> blocks;
+    for (int i = 0; i < 256; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws)
+            w = rng.chance(0.7) ? 1000u + static_cast<Word>(rng.next(8))
+                                : static_cast<Word>(rng.bits());
+        blocks.emplace_back(ws, DataType::Int32, true);
+    }
+
+    DictionaryConfig dict;
+    dict.n_nodes = 4;
+    std::unique_ptr<CodecSystem> codec;
+    switch (state.range(0)) {
+      case 0: codec = std::make_unique<BaselineCodec>(); break;
+      case 1: codec = std::make_unique<DiCompCodec>(dict); break;
+      case 2:
+        codec = std::make_unique<DiVaxxCodec>(dict, ErrorModel(10.0));
+        break;
+      case 3: codec = std::make_unique<FpcCodec>(); break;
+      default:
+        codec = std::make_unique<FpVaxxCodec>(ErrorModel(10.0));
+        break;
+    }
+    Cycle t = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        EncodedBlock enc =
+            codec->encode(blocks[i & 255], 0, 1, t);
+        benchmark::DoNotOptimize(codec->decode(enc, 0, 1, t));
+        ++i;
+        t += 3;
+    }
+    state.SetLabel(to_string(static_cast<Scheme>(state.range(0))));
+}
+BENCHMARK(BM_EncodeBlock)->DenseRange(0, 4);
+
+void
+BM_WindowVaxxEncode(benchmark::State &state)
+{
+    WindowVaxxCodec codec{ErrorModel(10.0)};
+    Rng rng(8);
+    std::vector<DataBlock> blocks;
+    for (int i = 0; i < 256; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws)
+            w = static_cast<Word>(rng.range(-100000, 100000));
+        blocks.emplace_back(ws, DataType::Int32, true);
+    }
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.encode(blocks[i++ & 255], 0, 1, 0));
+}
+BENCHMARK(BM_WindowVaxxEncode);
+
+void
+BM_WirePackFpc(benchmark::State &state)
+{
+    FpcCodec codec;
+    Rng rng(9);
+    std::vector<EncodedBlock> encs;
+    for (int i = 0; i < 64; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws)
+            w = sign_extend32(static_cast<Word>(rng.bits()) & 0xFFF, 12);
+        encs.push_back(codec.encode(DataBlock(ws, DataType::Int32, false),
+                                    0, 1, 0));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        bool raw;
+        benchmark::DoNotOptimize(fpc_wire::pack(encs[i++ & 63], raw));
+    }
+}
+BENCHMARK(BM_WirePackFpc);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Plug-and-play demonstration (paper Sec. 3: "VAXX can be used in the
+ * manner of a plug and play module for any underlying NoC data
+ * compression mechanism"): implements a third compression scheme —
+ * base-delta encoding after Zhan et al. [36] — as a user-defined
+ * CodecSystem, adds VAXX-style approximation in front of it, and runs
+ * it through the unmodified Network against the built-in schemes.
+ *
+ * Usage: ./build/examples/custom_compressor
+ */
+#include <cstdio>
+#include <memory>
+
+#include "approx/avcl.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "core/codec_factory.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+#include "traffic/data_provider.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+
+namespace {
+
+/**
+ * Base-delta compression: if every word of the block sits within a
+ * narrow band around the block's first word, transmit the base plus
+ * small deltas. An optional AVCL pass first zeroes each word's
+ * don't-care bits so more words fall inside the band.
+ */
+class BaseDeltaCodec : public CodecSystem
+{
+  public:
+    explicit BaseDeltaCodec(double threshold_pct)
+        : avcl_(ErrorModel(threshold_pct))
+    {}
+
+    Scheme scheme() const override { return Scheme::Baseline; /* custom */ }
+
+    EncodedBlock
+    encode(const DataBlock &block, NodeId, NodeId, Cycle) override
+    {
+        noteEncoded(block.size());
+        const bool approx_ok =
+            block.approximable() && block.type() != DataType::Raw &&
+            avcl_.errorModel().enabled();
+
+        EncodedBlock enc;
+        if (block.size() == 0)
+            return enc;
+
+        // Candidate words after optional approximation.
+        std::vector<Word> cand(block.size());
+        std::vector<bool> approximated(block.size(), false);
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            Word w = block.word(i);
+            if (approx_ok) {
+                auto d = avcl_.analyze(w, block.type());
+                if (!d.bypass) {
+                    Word zeroed = w & ~low_mask32(d.dont_care_bits);
+                    approximated[i] = zeroed != w;
+                    w = zeroed;
+                }
+            }
+            cand[i] = w;
+        }
+
+        // Adaptive delta width: the widest delta in the block decides
+        // how many bits every delta needs. Zeroing don't-care bits can
+        // shrink the spread and thus the whole block.
+        Word base = cand[0];
+        std::uint64_t max_delta = 0;
+        for (Word w : cand)
+            max_delta = std::max(max_delta, abs_diff_unsigned(w, base));
+        unsigned delta_bits =
+            max_delta == 0 ? 1 : log2_ceil(max_delta + 1) + 1; // sign bit
+        bool fits = delta_bits <= 20;
+
+        for (std::size_t i = 0; i < cand.size(); ++i) {
+            EncodedWord ew;
+            ew.decoded = fits ? cand[i] : block.word(i);
+            ew.approximated = fits && approximated[i];
+            ew.approx_count = ew.approximated ? 1 : 0;
+            if (fits) {
+                ew.kind = 1;
+                // Word 0 carries the base and the 5-bit width field.
+                ew.bits = i == 0 ? 1 + 32 + 5
+                                 : 1 + static_cast<std::uint16_t>(delta_bits);
+            } else {
+                ew.kind = 0;
+                ew.bits = 1 + 32;
+                ew.uncompressed = true;
+            }
+            ew.payload = ew.decoded;
+            enc.append(ew);
+        }
+        enc.setMeta(block.type(), block.approximable());
+        return enc;
+    }
+
+    DataBlock
+    decode(const EncodedBlock &enc, NodeId, NodeId, Cycle) override
+    {
+        noteDecoded(enc.wordCount());
+        std::vector<Word> ws;
+        for (const auto &w : enc.words())
+            ws.push_back(w.decoded);
+        return DataBlock(std::move(ws), enc.type(), enc.approximable());
+    }
+
+  private:
+    Avcl avcl_;
+};
+
+/**
+ * Blocks whose words cluster around a per-block base value — sensor or
+ * pointer-array style data, base-delta's sweet spot.
+ */
+class ClusteredProvider : public DataProvider
+{
+  public:
+    DataBlock
+    next(NodeId) override
+    {
+        Word base = 1u << (10 + rng_.next(14));
+        std::vector<Word> ws(16);
+        for (auto &w : ws) {
+            auto jitter =
+                static_cast<std::int32_t>(rng_.range(-4000, 4000));
+            w = base + static_cast<Word>(jitter);
+        }
+        return DataBlock(std::move(ws), DataType::Int32, true);
+    }
+
+  private:
+    Rng rng_{77};
+};
+
+double
+run(CodecSystem *codec, const char *name)
+{
+    NocConfig ncfg;
+    Network net(ncfg, codec);
+    Simulator sim;
+    net.attach(sim);
+    SyntheticConfig tc;
+    tc.injection_rate = 0.25;
+    tc.data_packet_ratio = 0.5;
+    ClusteredProvider provider;
+    SyntheticTraffic gen(net, tc, provider);
+    sim.add(&gen);
+    sim.run(20000);
+    gen.setEnabled(false);
+    sim.runUntil([&] { return net.drained(); }, 200000);
+    double lat = net.stats().total_lat.mean();
+    std::printf("  %-22s latency %7.2f   data flits %8llu   "
+                "compr ratio %.2f\n",
+                name, lat,
+                static_cast<unsigned long long>(net.dataFlitsInjected()),
+                net.stats().quality.compressionRatio());
+    return lat;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("plug-and-play: a user-defined base-delta codec (with and "
+                "without VAXX)\nagainst the built-in schemes, same network, "
+                "same traffic:\n\n");
+
+    CodecConfig cc;
+    cc.n_nodes = NocConfig{}.nodes();
+
+    auto baseline = make_codec(Scheme::Baseline, cc);
+    auto fpvaxx = make_codec(Scheme::FpVaxx, cc);
+    BaseDeltaCodec bd_exact(0.0);
+    BaseDeltaCodec bd_vaxx(10.0);
+
+    run(baseline.get(), "Baseline");
+    run(fpvaxx.get(), "FP-VAXX (built-in)");
+    double exact = run(&bd_exact, "Base-Delta (custom)");
+    double vaxx = run(&bd_vaxx, "BD-VAXX (custom+AVCL)");
+
+    std::printf("\nVAXX in front of the custom codec changes latency by "
+                "%.1f%% — no changes to\nthe network or NI code were "
+                "needed.\n",
+                100.0 * (vaxx - exact) / exact);
+    return 0;
+}

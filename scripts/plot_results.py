@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Plot the reproduction figures from the CSVs the bench harnesses emit.
+
+Usage:
+    for b in build/bench/*; do $b; done   # writes results/*.csv
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Produces one PNG per available figure CSV. Requires matplotlib.
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def bar_groups(ax, rows, group_key, series_key, value_key, skip=("AVG", "GMEAN")):
+    groups = [g for g in dict.fromkeys(r[group_key] for r in rows) if g not in skip]
+    series = list(dict.fromkeys(r[series_key] for r in rows))
+    width = 0.8 / max(1, len(series))
+    for si, s in enumerate(series):
+        xs, ys = [], []
+        for gi, g in enumerate(groups):
+            for r in rows:
+                if r[group_key] == g and r[series_key] == s:
+                    try:
+                        ys.append(float(r[value_key]))
+                        xs.append(gi + si * width)
+                    except ValueError:
+                        pass
+        ax.bar(xs, ys, width=width, label=s)
+    ax.set_xticks([i + 0.4 for i in range(len(groups))])
+    ax.set_xticklabels(groups, rotation=45, ha="right", fontsize=8)
+    ax.legend(fontsize=7)
+
+
+def plot_fig09(rows, ax):
+    bar_groups(ax, rows, "benchmark", "scheme", "total_lat")
+    ax.set_ylabel("avg packet latency (cycles)")
+    ax.set_title("Fig. 9: latency by scheme")
+
+
+def plot_fig10(rows, ax):
+    bar_groups(ax, rows, "benchmark", "scheme", "compr_ratio")
+    ax.set_ylabel("compression ratio")
+    ax.set_title("Fig. 10b: compression ratio")
+
+
+def plot_fig11(rows, ax):
+    bar_groups(ax, rows, "benchmark", "scheme", "normalized")
+    ax.set_ylabel("data flits (normalized)")
+    ax.set_title("Fig. 11: flit reduction")
+
+
+def plot_fig12(rows, ax):
+    key = lambda r: (r["benchmark"], r["pattern"], r["scheme"])
+    series = dict.fromkeys(key(r) for r in rows)
+    for s in series:
+        xs, ys = [], []
+        for r in rows:
+            if key(r) == s and r["latency"] != "sat":
+                xs.append(float(r["rate"]))
+                ys.append(float(r["latency"]))
+        if xs:
+            ax.plot(xs, ys, marker="o", label="/".join(s), linewidth=1)
+    ax.set_xlabel("injection rate (flits/cycle/node)")
+    ax.set_ylabel("latency (cycles)")
+    ax.set_title("Fig. 12: load-latency")
+    ax.legend(fontsize=5)
+
+
+def plot_fig15(rows, ax):
+    bar_groups(ax, rows, "benchmark", "scheme", "normalized")
+    ax.set_ylabel("dynamic power (normalized)")
+    ax.set_title("Fig. 15: dynamic power")
+
+
+def plot_fig16(rows, ax):
+    benches = list(dict.fromkeys(r["benchmark"] for r in rows))
+    for b in benches:
+        xs = [float(r["error_budget_pct"]) for r in rows if r["benchmark"] == b]
+        ys = [float(r["output_error_pct"]) for r in rows if r["benchmark"] == b]
+        ax.plot(xs, ys, marker="s", label=b, linewidth=1)
+    ax.set_xlabel("error budget (%)")
+    ax.set_ylabel("output error (%)")
+    ax.set_title("Fig. 16: application output error")
+    ax.legend(fontsize=6)
+
+
+PLOTS = {
+    "fig09_latency_breakdown": plot_fig09,
+    "fig10_compression": plot_fig10,
+    "fig11_flit_reduction": plot_fig11,
+    "fig12_throughput": plot_fig12,
+    "fig15_power": plot_fig15,
+    "fig16_app_output": plot_fig16,
+}
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out = sys.argv[2] if len(sys.argv) > 2 else "results/plots"
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(out, exist_ok=True)
+    made = 0
+    for name, fn in PLOTS.items():
+        path = os.path.join(results, name + ".csv")
+        if not os.path.exists(path):
+            print(f"skip {name} (no {path})")
+            continue
+        fig, ax = plt.subplots(figsize=(7, 3.2), dpi=150)
+        fn(read_csv(path), ax)
+        fig.tight_layout()
+        png = os.path.join(out, name + ".png")
+        fig.savefig(png)
+        plt.close(fig)
+        print(f"wrote {png}")
+        made += 1
+    if made == 0:
+        sys.exit("no CSVs found — run the bench binaries first")
+
+
+if __name__ == "__main__":
+    main()

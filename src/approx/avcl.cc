@@ -1,0 +1,103 @@
+#include "approx/avcl.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace approxnoc {
+
+ApproxDecision
+avcl_analyze(const ErrorModel &model, Word w, DataType t)
+{
+    ApproxDecision d;
+    if (!model.enabled())
+        return d;
+
+    switch (t) {
+      case DataType::Int32: {
+        std::int64_t v = static_cast<std::int32_t>(w);
+        std::uint64_t magnitude = static_cast<std::uint64_t>(v < 0 ? -v : v);
+        unsigned k = model.dontCareBits(magnitude);
+        if (k > 31)
+            k = 31;
+        d.bypass = k == 0;
+        d.dont_care_bits = k;
+        return d;
+      }
+      case DataType::Float32: {
+        if (Float32Fields::isSpecial(w))
+            return d; // zero / denormal / inf / NaN: bypass
+        // Significand = 1.mantissa scaled to an integer: the exponent
+        // is scaled out, so the same integer logic applies.
+        std::uint64_t significand =
+            (1ull << Float32Fields::kMantissaBits) | Float32Fields::mantissa(w);
+        unsigned k = model.dontCareBits(significand);
+        if (k > Float32Fields::kMantissaBits)
+            k = Float32Fields::kMantissaBits;
+        d.bypass = k == 0;
+        d.dont_care_bits = k;
+        return d;
+      }
+      case DataType::Raw:
+        return d;
+    }
+    return d;
+}
+
+double
+avcl_relative_error(Word w, Word candidate, DataType t)
+{
+    if (w == candidate)
+        return 0.0;
+    switch (t) {
+      case DataType::Int32: {
+        double p = static_cast<double>(static_cast<std::int32_t>(w));
+        double a = static_cast<double>(static_cast<std::int32_t>(candidate));
+        return p == 0.0 ? 1.0 : std::fabs(a - p) / std::fabs(p);
+      }
+      case DataType::Float32: {
+        if (Float32Fields::isSpecial(w))
+            return 1.0; // specials must never be substituted
+        double sig = static_cast<double>(
+            (1ull << Float32Fields::kMantissaBits) |
+            Float32Fields::mantissa(w));
+        double sig_c = static_cast<double>(
+            (1ull << Float32Fields::kMantissaBits) |
+            Float32Fields::mantissa(candidate));
+        if (Float32Fields::exponent(w) != Float32Fields::exponent(candidate) ||
+            Float32Fields::sign(w) != Float32Fields::sign(candidate)) {
+            // Exponent/sign changed: compute on the actual values.
+            float fw, fc;
+            static_assert(sizeof(fw) == sizeof(w));
+            std::memcpy(&fw, &w, sizeof(fw));
+            std::memcpy(&fc, &candidate, sizeof(fc));
+            return fw == 0.0f ? 1.0
+                              : std::fabs((double)fc - (double)fw) /
+                                    std::fabs((double)fw);
+        }
+        return std::fabs(sig_c - sig) / sig;
+      }
+      case DataType::Raw:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+ApproxDecision
+Avcl::analyze(Word w, DataType t)
+{
+    ++activations_;
+    return avcl_analyze(model_, w, t);
+}
+
+TernaryPattern
+Avcl::patternFor(Word w, DataType t)
+{
+    ApproxDecision d = analyze(w, t);
+    Word mask = d.bypass ? 0 : low_mask32(d.dont_care_bits);
+    return TernaryPattern{w, mask}.canonical();
+}
+
+} // namespace approxnoc

@@ -1,0 +1,45 @@
+#include "approx/error_model.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/log.h"
+
+namespace approxnoc {
+
+ErrorModel::ErrorModel(double threshold_pct, ErrorRangeMode mode)
+    : threshold_pct_(threshold_pct), mode_(mode)
+{
+    ANOC_ASSERT(threshold_pct >= 0.0 && threshold_pct <= 100.0,
+                "error threshold must be in [0, 100] percent");
+    if (threshold_pct_ > 0.0) {
+        // ceil(log2(100 / e)); e = 10% -> 4, e = 20% -> 3, e = 5% -> 5.
+        double ratio = 100.0 / threshold_pct_;
+        shift_bits_ = static_cast<unsigned>(std::ceil(std::log2(ratio)));
+    } else {
+        shift_bits_ = 64; // shifts everything to zero: no approximation
+    }
+}
+
+std::uint64_t
+ErrorModel::errorRange(std::uint64_t magnitude) const
+{
+    if (!enabled())
+        return 0;
+    if (mode_ == ErrorRangeMode::Shift)
+        return shift_bits_ >= 64 ? 0 : (magnitude >> shift_bits_);
+    return static_cast<std::uint64_t>(
+        static_cast<double>(magnitude) * threshold_pct_ / 100.0);
+}
+
+unsigned
+ErrorModel::dontCareBits(std::uint64_t magnitude) const
+{
+    std::uint64_t range = errorRange(magnitude);
+    if (range == 0)
+        return 0;
+    // Largest k with 2^k - 1 <= range.
+    return log2_floor(range + 1);
+}
+
+} // namespace approxnoc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The VAXX error-range computation (paper Sec. 3.2). Given an error
+ * threshold e%, the number of low-order bits of a value that can be
+ * treated as don't cares is derived from
+ *     error_range = value * e / 100
+ * which the hardware approximates with a right shift by
+ * ceil(log2(100/e)) bits — conservative (the shift never over-estimates
+ * the range), multiplier-free, and the paper's headline trick. Both the
+ * shift and the exact multiply are implemented so their effect can be
+ * ablated.
+ */
+#ifndef APPROXNOC_APPROX_ERROR_MODEL_H
+#define APPROXNOC_APPROX_ERROR_MODEL_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace approxnoc {
+
+/** How the error range is computed from the value magnitude. */
+enum class ErrorRangeMode : std::uint8_t {
+    Shift, ///< value >> ceil(log2(100/e)) — the paper's cheap logic
+    Exact, ///< floor(value * e / 100) — reference multiplier datapath
+};
+
+/**
+ * Error-threshold policy shared by the AVCL and the APCL. Immutable
+ * after construction; the framework swaps instances to change the
+ * threshold at run time (paper: threshold is compiler-set and can be
+ * adjusted dynamically).
+ */
+class ErrorModel
+{
+  public:
+    /**
+     * @param threshold_pct allowed relative error e in percent (> 0
+     *        enables approximation; 0 disables it entirely).
+     * @param mode shift-based (default, hardware) or exact multiply.
+     */
+    explicit ErrorModel(double threshold_pct,
+                        ErrorRangeMode mode = ErrorRangeMode::Shift);
+
+    double thresholdPct() const { return threshold_pct_; }
+    ErrorRangeMode mode() const { return mode_; }
+
+    /** True when the threshold permits any approximation at all. */
+    bool enabled() const { return threshold_pct_ > 0.0; }
+
+    /** The precomputed shift amount ceil(log2(100/e)). */
+    unsigned shiftBits() const { return shift_bits_; }
+
+    /** Largest absolute deviation allowed for a value of @p magnitude. */
+    std::uint64_t errorRange(std::uint64_t magnitude) const;
+
+    /**
+     * Number of low-order don't-care bits k for @p magnitude: the
+     * largest k with 2^k - 1 <= errorRange(magnitude), so flipping any
+     * of the k low bits stays within the allowed range.
+     */
+    unsigned dontCareBits(std::uint64_t magnitude) const;
+
+  private:
+    double threshold_pct_;
+    ErrorRangeMode mode_;
+    unsigned shift_bits_;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_APPROX_ERROR_MODEL_H

@@ -1,0 +1,46 @@
+#include "approx/fp_vaxx.h"
+
+namespace approxnoc {
+
+EncodedBlock
+FpVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
+{
+    noteEncoded(block.size());
+    const bool approximable = block.approximable() &&
+                              block.type() != DataType::Raw &&
+                              avcl_.errorModel().enabled();
+    if (!approximable)
+        return fpc_encode_block(block, [](std::size_t) { return 0u; });
+
+    return fpc_encode_block(block, [&](std::size_t i) -> unsigned {
+        Word w = block.word(i);
+        ApproxDecision d = avcl_.analyze(w, block.type());
+        if (d.bypass)
+            return 0u;
+        if (mode_ == FpcPriorityMode::PreferExact && fpc_match(w, 0))
+            return 0u;
+        return d.dont_care_bits;
+    });
+}
+
+DataBlock
+FpVaxxCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
+{
+    // The NR is plain FPC; the decoder is unchanged (paper: the decoder
+    // never knows approximation happened).
+    noteDecoded(enc.wordCount());
+    std::vector<Word> ws;
+    ws.reserve(enc.wordCount());
+    for (const auto &w : enc.words()) {
+        Word v = w.uncompressed
+                     ? w.payload
+                     : fpc_decode(static_cast<FpcPattern>(w.kind), w.payload);
+        if (v != w.decoded)
+            noteMismatch();
+        for (unsigned r = 0; r < w.run; ++r)
+            ws.push_back(v);
+    }
+    return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
+
+} // namespace approxnoc

@@ -1,0 +1,81 @@
+#include "cache/doppelganger.h"
+
+#include "common/bits.h"
+#include "common/log.h"
+
+namespace approxnoc {
+
+DoppelgangerTable::DoppelgangerTable(const DoppelgangerConfig &cfg)
+    : cfg_(cfg), avcl_(ErrorModel(cfg.threshold_pct, cfg.mode))
+{
+    ANOC_ASSERT(cfg.entries > 0, "dedup table needs at least one entry");
+}
+
+std::vector<Word>
+DoppelgangerTable::signatureOf(const DataBlock &block)
+{
+    std::vector<Word> sig;
+    sig.reserve(block.size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        Word w = block.word(i);
+        ApproxDecision d = avcl_.analyze(w, block.type());
+        sig.push_back(d.bypass ? w : (w & ~low_mask32(d.dont_care_bits)));
+    }
+    return sig;
+}
+
+bool
+DoppelgangerTable::withinThreshold(const DataBlock &block,
+                                   const std::vector<Word> &c) const
+{
+    // Signature equality already confines each word to the canonical
+    // word's quantization cell, but the cells were computed from the
+    // *incoming* word; verify against the canonical explicitly so the
+    // substitution is always within bound (paper-style per-block map
+    // check in Doppelganger).
+    const double bound = cfg_.threshold_pct / (100.0 - cfg_.threshold_pct);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        if (block.word(i) == c[i])
+            continue;
+        double err = avcl_relative_error(block.word(i), c[i], block.type());
+        if (err > bound)
+            return false;
+    }
+    return true;
+}
+
+DataBlock
+DoppelgangerTable::canonicalize(const DataBlock &block)
+{
+    if (!block.approximable() || block.type() == DataType::Raw ||
+        block.size() == 0)
+        return block;
+    ++lookups_;
+
+    std::vector<Word> sig = signatureOf(block);
+    auto it = table_.find(sig);
+    if (it != table_.end()) {
+        Entry &e = *it->second;
+        if (withinThreshold(block, e.canonical)) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return DataBlock(e.canonical, block.type(),
+                             block.approximable());
+        }
+        // Signature collided outside the bound: refresh the canonical.
+        e.canonical = block.words();
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return block;
+    }
+
+    // Install as a new canonical, evicting the LRU entry when full.
+    if (lru_.size() >= cfg_.entries) {
+        table_.erase(lru_.back().signature);
+        lru_.pop_back();
+    }
+    lru_.push_front(Entry{sig, block.words()});
+    table_[std::move(sig)] = lru_.begin();
+    return block;
+}
+
+} // namespace approxnoc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Doppelganger-style approximate block deduplication (San Miguel et
+ * al., MICRO'15 [23]) at the home slices, as a synergy partner for
+ * APPROX-NoC: the paper argues its network-side approximation "can
+ * work in synergy with approximate storage mechanisms like
+ * Doppelganger cache" (Sec. 6).
+ *
+ * Model: each home keeps a small table of canonical blocks keyed by an
+ * approximate signature (the AVCL don't-care masks quantize each word).
+ * When a response block's signature matches a canonical block AND every
+ * word is verified to sit within the error threshold of the canonical
+ * word, the canonical block is returned instead — deduplicating
+ * storage and making the NoC-visible value stream more repetitive
+ * (which in turn feeds the dictionary compressors).
+ */
+#ifndef APPROXNOC_CACHE_DOPPELGANGER_H
+#define APPROXNOC_CACHE_DOPPELGANGER_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "approx/avcl.h"
+#include "common/data_block.h"
+
+namespace approxnoc {
+
+/** Parameters of the approximate-dedup table. */
+struct DoppelgangerConfig {
+    std::size_t entries = 64;  ///< canonical blocks kept (LRU)
+    double threshold_pct = 10.0;
+    ErrorRangeMode mode = ErrorRangeMode::Shift;
+};
+
+/** The approximate block-dedup table. */
+class DoppelgangerTable
+{
+  public:
+    explicit DoppelgangerTable(const DoppelgangerConfig &cfg);
+
+    /**
+     * Map @p block to its canonical representative. Non-approximable
+     * or Raw blocks pass through untouched. On a verified signature
+     * hit the canonical block (with @p block's metadata) is returned
+     * and dedupHits() increments; otherwise @p block is installed as a
+     * new canonical and returned unchanged.
+     */
+    DataBlock canonicalize(const DataBlock &block);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t dedupHits() const { return hits_; }
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    /** Signature: every word reduced to its AVCL care bits. */
+    std::vector<Word> signatureOf(const DataBlock &block);
+
+    /** True when every word of @p block is within threshold of @p c. */
+    bool withinThreshold(const DataBlock &block,
+                         const std::vector<Word> &c) const;
+
+    struct Entry {
+        std::vector<Word> signature;
+        std::vector<Word> canonical;
+    };
+
+    DoppelgangerConfig cfg_;
+    Avcl avcl_;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::map<std::vector<Word>, std::list<Entry>::iterator> table_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_CACHE_DOPPELGANGER_H

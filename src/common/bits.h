@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Small constexpr bit-manipulation helpers used by the codec datapath.
+ */
+#ifndef APPROXNOC_COMMON_BITS_H
+#define APPROXNOC_COMMON_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace approxnoc {
+
+/** Mask with the low @p n bits set (n in [0, 32]). */
+constexpr std::uint32_t
+low_mask32(unsigned n)
+{
+    return n >= 32 ? 0xFFFFFFFFu : ((1u << n) - 1u);
+}
+
+/** Mask with the low @p n bits set (n in [0, 64]). */
+constexpr std::uint64_t
+low_mask64(unsigned n)
+{
+    return n >= 64 ? ~0ull : ((1ull << n) - 1ull);
+}
+
+/** Extract bits [hi..lo] of @p v (inclusive, hi >= lo). */
+constexpr std::uint32_t
+bits32(std::uint32_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & low_mask32(hi - lo + 1);
+}
+
+/** floor(log2(v)) for v >= 1. */
+constexpr unsigned
+log2_floor(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v | 1ull));
+}
+
+/** ceil(log2(v)) for v >= 1. */
+constexpr unsigned
+log2_ceil(std::uint64_t v)
+{
+    unsigned f = log2_floor(v);
+    return (v & (v - 1)) ? f + 1 : f;
+}
+
+/** True iff the value fits in @p n bits when sign-extended from bit n-1. */
+constexpr bool
+fits_signed(std::uint32_t v, unsigned n)
+{
+    std::int32_t s = static_cast<std::int32_t>(v);
+    std::int32_t lo = -(1 << (n - 1));
+    std::int32_t hi = (1 << (n - 1)) - 1;
+    return s >= lo && s <= hi;
+}
+
+/** Sign-extend the low @p n bits of @p v to a full 32-bit word. */
+constexpr std::uint32_t
+sign_extend32(std::uint32_t v, unsigned n)
+{
+    if (n >= 32)
+        return v;
+    std::uint32_t m = 1u << (n - 1);
+    v &= low_mask32(n);
+    return (v ^ m) - m;
+}
+
+/** Absolute difference of two words interpreted as signed integers. */
+constexpr std::uint64_t
+abs_diff_signed(Word a, Word b)
+{
+    std::int64_t d = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) -
+                     static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+    return d < 0 ? static_cast<std::uint64_t>(-d) : static_cast<std::uint64_t>(d);
+}
+
+/** Absolute difference of two words interpreted as unsigned integers. */
+constexpr std::uint64_t
+abs_diff_unsigned(Word a, Word b)
+{
+    return a > b ? static_cast<std::uint64_t>(a - b)
+                 : static_cast<std::uint64_t>(b - a);
+}
+
+/** IEEE-754 binary32 field accessors. */
+struct Float32Fields {
+    static constexpr unsigned kMantissaBits = 23;
+    static constexpr unsigned kExponentBits = 8;
+
+    /** The 23-bit mantissa field. */
+    static constexpr std::uint32_t mantissa(Word w) { return bits32(w, 22, 0); }
+    /** The 8-bit biased exponent field. */
+    static constexpr std::uint32_t exponent(Word w) { return bits32(w, 30, 23); }
+    /** The sign bit. */
+    static constexpr std::uint32_t sign(Word w) { return bits32(w, 31, 31); }
+
+    /**
+     * True when the exponent is all zeros or all ones: the word encodes
+     * zero, a denormal, an infinity or a NaN, and the AVCL must bypass it.
+     */
+    static constexpr bool
+    isSpecial(Word w)
+    {
+        std::uint32_t e = exponent(w);
+        return e == 0 || e == 0xFF;
+    }
+
+    /** Reassemble a float word from its fields. */
+    static constexpr Word
+    assemble(std::uint32_t s, std::uint32_t e, std::uint32_t m)
+    {
+        return (s << 31) | ((e & 0xFF) << 23) | (m & low_mask32(23));
+    }
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMMON_BITS_H

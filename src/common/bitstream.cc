@@ -1,0 +1,34 @@
+#include "common/bitstream.h"
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+void
+BitWriter::write(std::uint64_t value, unsigned n)
+{
+    ANOC_ASSERT(n <= 64, "bit field too wide");
+    for (unsigned i = 0; i < n; ++i) {
+        if (bits_ % 8 == 0)
+            bytes_.push_back(0);
+        if ((value >> i) & 1ull)
+            bytes_.back() |= static_cast<std::uint8_t>(1u << (bits_ % 8));
+        ++bits_;
+    }
+}
+
+std::uint64_t
+BitReader::read(unsigned n)
+{
+    ANOC_ASSERT(n <= 64, "bit field too wide");
+    ANOC_ASSERT(!exhausted(n), "bitstream underrun");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i, ++pos_) {
+        std::uint8_t byte = bytes_[pos_ / 8];
+        if ((byte >> (pos_ % 8)) & 1u)
+            v |= 1ull << i;
+    }
+    return v;
+}
+
+} // namespace approxnoc

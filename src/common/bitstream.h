@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bit-granular serialization. The codecs account NR sizes in bits;
+ * BitWriter/BitReader prove those NRs really pack into that many bits
+ * (compression/wire.h serializes every scheme's encoded block through
+ * these). LSB-first within a byte.
+ */
+#ifndef APPROXNOC_COMMON_BITSTREAM_H
+#define APPROXNOC_COMMON_BITSTREAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace approxnoc {
+
+/** Appends fields of 1..64 bits to a growing byte buffer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p n bits of @p value (n in [0, 64]). */
+    void write(std::uint64_t value, unsigned n);
+
+    /** Total bits written so far. */
+    std::size_t bitCount() const { return bits_; }
+
+    /** The backing bytes (last byte zero-padded). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t bits_ = 0;
+};
+
+/** Reads fields back in write order. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {}
+
+    /** Read the next @p n bits (n in [0, 64]). Panics past the end. */
+    std::uint64_t read(unsigned n);
+
+    /** Bits consumed so far. */
+    std::size_t bitPosition() const { return pos_; }
+
+    /** True when fewer than @p n bits remain. */
+    bool
+    exhausted(unsigned n = 1) const
+    {
+        return pos_ + n > bytes_.size() * 8;
+    }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMMON_BITSTREAM_H

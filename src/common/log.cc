@@ -1,0 +1,56 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace approxnoc {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+void
+set_verbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+namespace detail {
+
+void
+panic_impl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatal_impl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warn_impl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform_impl(const std::string &msg)
+{
+    if (g_verbose)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace approxnoc

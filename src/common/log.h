@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic for simulator bugs, fatal for
+ * user errors, warn/inform for status messages.
+ */
+#ifndef APPROXNOC_COMMON_LOG_H
+#define APPROXNOC_COMMON_LOG_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace approxnoc {
+namespace detail {
+
+[[noreturn]] void panic_impl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatal_impl(const char *file, int line, const std::string &msg);
+void warn_impl(const std::string &msg);
+void inform_impl(const std::string &msg);
+
+template <typename... Args>
+std::string
+format_args(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Set to false to silence inform() output (benches use compact tables). */
+void set_verbose(bool verbose);
+bool verbose();
+
+} // namespace approxnoc
+
+/** Unrecoverable internal error: something that should never happen. */
+#define ANOC_PANIC(...) \
+    ::approxnoc::detail::panic_impl(__FILE__, __LINE__, \
+        ::approxnoc::detail::format_args(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error. */
+#define ANOC_FATAL(...) \
+    ::approxnoc::detail::fatal_impl(__FILE__, __LINE__, \
+        ::approxnoc::detail::format_args(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define ANOC_WARN(...) \
+    ::approxnoc::detail::warn_impl(::approxnoc::detail::format_args(__VA_ARGS__))
+
+/** Informational status message (suppressed when verbosity is off). */
+#define ANOC_INFORM(...) \
+    ::approxnoc::detail::inform_impl(::approxnoc::detail::format_args(__VA_ARGS__))
+
+/** Assertion that survives NDEBUG builds; panics with context on failure. */
+#define ANOC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ANOC_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // APPROXNOC_COMMON_LOG_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic random number generation. Every stochastic component
+ * takes an explicit Rng (or a seed) so simulations are reproducible.
+ */
+#ifndef APPROXNOC_COMMON_RNG_H
+#define APPROXNOC_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace approxnoc {
+
+/**
+ * Thin wrapper over a 64-bit Mersenne twister with convenience draws.
+ * Not thread safe; use one instance per simulated component.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0xA9C0FFEEull) : engine_(seed) {}
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t s) { engine_.seed(s); }
+
+    /** Uniform integer in [0, bound) — bound must be > 0. */
+    std::uint64_t
+    next(std::uint64_t bound)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Normal draw. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Raw 64 random bits. */
+    std::uint64_t bits() { return engine_(); }
+
+    /** The underlying engine, for std::shuffle etc. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMMON_RNG_H

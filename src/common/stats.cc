@@ -1,0 +1,64 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace approxnoc {
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    std::size_t idx = x < 0 ? 0 : static_cast<std::size_t>(x / width_);
+    if (idx >= buckets_.size() - 1)
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 1.0) * width_;
+    }
+    return static_cast<double>(buckets_.size()) * width_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, s] : stats_) {
+        os << name << " mean=" << s.mean() << " min=" << s.min()
+           << " max=" << s.max() << " n=" << s.count() << "\n";
+    }
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, s] : stats_)
+        s.reset();
+}
+
+} // namespace approxnoc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics package: counters, running means and
+ * fixed-bucket histograms, grouped into named registries so simulators
+ * can dump everything at end of run.
+ */
+#ifndef APPROXNOC_COMMON_STATS_H
+#define APPROXNOC_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace approxnoc {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming mean / min / max / variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        double d = x - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (x - mean_);
+        if (x < min_ || n_ == 1)
+            min_ = x;
+        if (x > max_ || n_ == 1)
+            max_ = x;
+        sum_ += x;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    void reset() { *this = RunningStat(); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Histogram over [0, bucket_width * n_buckets) with an overflow bucket. */
+class Histogram
+{
+  public:
+    explicit Histogram(double bucket_width = 1.0, std::size_t n_buckets = 64)
+        : width_(bucket_width), buckets_(n_buckets + 1, 0)
+    {}
+
+    void add(double x);
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    /** Value below which @p q (in [0,1]) of samples fall (bucket-resolution). */
+    double percentile(double q) const;
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    void reset();
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Named collection of stats. Components hold references to entries;
+ * the registry owns them and can print a report.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    RunningStat &stat(const std::string &name) { return stats_[name]; }
+
+    const std::map<std::string, Counter> &counters() const { return counters_; }
+    const std::map<std::string, RunningStat> &stats() const { return stats_; }
+
+    /** Dump every entry as "name value [mean min max]" lines. */
+    void dump(std::ostream &os) const;
+    void reset();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, RunningStat> stats_;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMMON_STATS_H

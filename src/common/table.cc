@@ -1,0 +1,103 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    ANOC_ASSERT(row.size() == header_.size(),
+                "table row width ", row.size(), " != header width ",
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(const std::string &s)
+{
+    cells_.push_back(s);
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(double v, int precision)
+{
+    cells_.push_back(fmt(v, precision));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(long v)
+{
+    cells_.push_back(std::to_string(v));
+    return *this;
+}
+
+Table::RowBuilder::~RowBuilder()
+{
+    table_.addRow(std::move(cells_));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        ANOC_WARN("cannot write CSV to ", path);
+        return;
+    }
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            f << row[c];
+            if (c + 1 < row.size())
+                f << ",";
+        }
+        f << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace approxnoc

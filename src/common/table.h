@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Console table printer used by the bench harnesses to emit the rows /
+ * series of each paper figure in a uniform, diffable format. Also
+ * writes CSV alongside for plotting.
+ */
+#ifndef APPROXNOC_COMMON_TABLE_H
+#define APPROXNOC_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace approxnoc {
+
+/** A rectangular table of strings with column-aligned printing. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Row builder accepting heterogeneous cells. */
+    class RowBuilder
+    {
+      public:
+        explicit RowBuilder(Table &t) : table_(t) {}
+        RowBuilder &cell(const std::string &s);
+        RowBuilder &cell(double v, int precision = 3);
+        RowBuilder &cell(long v);
+        ~RowBuilder();
+
+        RowBuilder(const RowBuilder &) = delete;
+        RowBuilder &operator=(const RowBuilder &) = delete;
+
+      private:
+        Table &table_;
+        std::vector<std::string> cells_;
+    };
+
+    RowBuilder row() { return RowBuilder(*this); }
+
+    /** Pretty-print with padded columns. */
+    void print(std::ostream &os) const;
+
+    /** Write as CSV to @p path (best effort; warns on failure). */
+    void writeCsv(const std::string &path) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 3);
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMMON_TABLE_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every APPROX-NoC module.
+ */
+#ifndef APPROXNOC_COMMON_TYPES_H
+#define APPROXNOC_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace approxnoc {
+
+/** A 32-bit machine word as it travels through the codec datapath. */
+using Word = std::uint32_t;
+
+/** Simulation time in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a network endpoint (tile / NI). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a router in the topology. */
+using RouterId = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel cycle value meaning "never / unset". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/**
+ * Data type carried by a cache block. The VAXX engine only
+ * distinguishes 32-bit integers from IEEE-754 single-precision floats;
+ * anything else is treated as raw (non-approximable) bits.
+ */
+enum class DataType : std::uint8_t {
+    Int32,   ///< two's-complement 32-bit integers
+    Float32, ///< IEEE-754 binary32
+    Raw,     ///< opaque bits; never approximated
+};
+
+/** Human-readable name of a DataType. */
+std::string to_string(DataType t);
+
+/** Category of a network packet. */
+enum class PacketClass : std::uint8_t {
+    Control, ///< single-flit coherence / request packet
+    Data,    ///< multi-flit packet carrying a cache block
+};
+
+/** Compression / approximation scheme selector (the five paper bars). */
+enum class Scheme : std::uint8_t {
+    Baseline, ///< no compression
+    DiComp,   ///< dynamic dictionary compression (Jin et al.)
+    DiVaxx,   ///< dictionary compression + VAXX approximation
+    FpComp,   ///< static frequent-pattern compression (Das et al.)
+    FpVaxx,   ///< frequent-pattern compression + VAXX approximation
+};
+
+/** Human-readable name of a Scheme ("DI-VAXX" etc., paper spelling). */
+std::string to_string(Scheme s);
+
+/** All five schemes in the order the paper plots them. */
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::Baseline, Scheme::DiComp, Scheme::DiVaxx,
+    Scheme::FpComp, Scheme::FpVaxx,
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMMON_TYPES_H

@@ -1,0 +1,43 @@
+#include "compression/codec.h"
+
+namespace approxnoc {
+
+CodecActivity
+CodecSystem::activity() const
+{
+    CodecActivity a;
+    a.words_encoded = words_encoded_;
+    a.words_decoded = words_decoded_;
+    return a;
+}
+
+EncodedBlock
+BaselineCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
+{
+    EncodedBlock enc;
+    noteEncoded(block.size());
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        EncodedWord ew;
+        ew.kind = 0;
+        ew.bits = 32;
+        ew.payload = block.word(i);
+        ew.decoded = block.word(i);
+        ew.uncompressed = true;
+        enc.append(ew);
+    }
+    enc.setMeta(block.type(), block.approximable());
+    return enc;
+}
+
+DataBlock
+BaselineCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
+{
+    noteDecoded(enc.wordCount());
+    std::vector<Word> ws;
+    ws.reserve(enc.wordCount());
+    for (const auto &w : enc.words())
+        ws.push_back(w.payload);
+    return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
+
+} // namespace approxnoc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * CodecSystem: the abstract encoder/decoder pair the APPROX-NoC
+ * framework plugs into every network interface. A single CodecSystem
+ * instance models the distributed state of *all* nodes' encoders and
+ * decoders (dictionary schemes keep per-node tables inside).
+ */
+#ifndef APPROXNOC_COMPRESSION_CODEC_H
+#define APPROXNOC_COMPRESSION_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/data_block.h"
+#include "common/types.h"
+
+#include "compression/encoded.h"
+
+namespace approxnoc {
+
+class EncodedBlock;
+
+/** Default codec pipeline latencies (paper Sec. 4.3, after [12]). */
+inline constexpr Cycle kCompressionLatency = 3;   ///< 2 match + 1 encode
+inline constexpr Cycle kDecompressionLatency = 2;
+
+/** Aggregate codec hardware activity, input to the power model. */
+struct CodecActivity {
+    std::uint64_t words_encoded = 0;
+    std::uint64_t words_decoded = 0;
+    std::uint64_t cam_searches = 0;
+    std::uint64_t cam_writes = 0;
+    std::uint64_t tcam_searches = 0;
+    std::uint64_t tcam_writes = 0;
+    std::uint64_t avcl_ops = 0;
+};
+
+/**
+ * Abstract compression system. encode() runs at the source NI for a
+ * block headed src -> dst; decode() runs at the destination NI.
+ * Dictionary schemes are stateful and time-aware (update notifications
+ * apply after a delay), hence the @p now parameters.
+ */
+class CodecSystem
+{
+  public:
+    virtual ~CodecSystem() = default;
+
+    CodecSystem() = default;
+    CodecSystem(const CodecSystem &) = delete;
+    CodecSystem &operator=(const CodecSystem &) = delete;
+
+    /** Which paper scheme this system implements. */
+    virtual Scheme scheme() const = 0;
+
+    /** Encode @p block at node @p src for destination @p dst. */
+    virtual EncodedBlock encode(const DataBlock &block, NodeId src,
+                                NodeId dst, Cycle now) = 0;
+
+    /** Decode @p enc at node @p dst, received from @p src. */
+    virtual DataBlock decode(const EncodedBlock &enc, NodeId src,
+                             NodeId dst, Cycle now) = 0;
+
+    /** Cycles the encoder adds before the first body flit is ready. */
+    virtual Cycle compressionLatency() const { return kCompressionLatency; }
+
+    /** Cycles the decoder adds at the ejection side. */
+    virtual Cycle decompressionLatency() const { return kDecompressionLatency; }
+
+    /**
+     * A dictionary update/invalidate notification travelling from a
+     * decoder back to an encoder. The NoC layer injects one control
+     * packet per notification to charge its traffic cost.
+     */
+    struct Notification {
+        NodeId from; ///< decoder node emitting the notification
+        NodeId to;   ///< encoder node it updates
+    };
+
+    /**
+     * Dictionary schemes: the update/invalidate notifications emitted
+     * since the last call. Stateless schemes return an empty list.
+     */
+    virtual std::vector<Notification> drainNotifications() { return {}; }
+
+    /**
+     * Decoder-vs-encoder expectation mismatches observed so far.
+     * Nonzero indicates a dictionary-consistency protocol violation.
+     */
+    virtual std::uint64_t consistencyMismatches() const { return mismatches_; }
+
+    /** The scheme-specific kind value marking an uncompressed word. */
+    virtual std::uint8_t rawKind() const { return 0; }
+
+    /** Hardware activity accumulated so far (power model input). */
+    virtual CodecActivity activity() const;
+
+    /**
+     * Retune the approximation threshold at run time (the paper: the
+     * threshold "can be dynamically adjusted at run time"). Dictionary
+     * schemes apply it to newly recorded patterns only — already
+     * installed masks keep their recorded width, as the hardware would.
+     * @return false when the scheme has no approximation engine.
+     */
+    virtual bool setErrorThreshold(double) { return false; }
+
+  protected:
+    /** Bump the consistency-mismatch counter (decoders call this). */
+    void noteMismatch() { ++mismatches_; }
+
+    /** Word-count bookkeeping, called by every encode()/decode(). */
+    void noteEncoded(std::uint64_t n) { words_encoded_ += n; }
+    void noteDecoded(std::uint64_t n) { words_decoded_ += n; }
+
+    std::uint64_t wordsEncoded() const { return words_encoded_; }
+    std::uint64_t wordsDecoded() const { return words_decoded_; }
+
+  private:
+    std::uint64_t mismatches_ = 0;
+    std::uint64_t words_encoded_ = 0;
+    std::uint64_t words_decoded_ = 0;
+};
+
+/**
+ * The Baseline "codec": transmits every word raw with no metadata.
+ * Zero compression/decompression latency.
+ */
+class BaselineCodec : public CodecSystem
+{
+  public:
+    Scheme scheme() const override { return Scheme::Baseline; }
+    EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
+                        Cycle now) override;
+    DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
+                     Cycle now) override;
+    Cycle compressionLatency() const override { return 0; }
+    Cycle decompressionLatency() const override { return 0; }
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMPRESSION_CODEC_H

@@ -1,0 +1,329 @@
+#include "compression/dictionary.h"
+
+#include "common/bits.h"
+#include "common/log.h"
+
+namespace approxnoc {
+
+unsigned
+DictionaryConfig::indexBits() const
+{
+    return log2_ceil(pmt_entries);
+}
+
+DictionaryCodecBase::DecoderState::DecoderState(const DictionaryConfig &cfg)
+    : pmt(cfg.pmt_entries, cfg.policy),
+      tracker(cfg.tracker_entries, ReplacementPolicy::Lfu),
+      types(cfg.pmt_entries, DataType::Raw),
+      known_by(cfg.pmt_entries, std::vector<bool>(cfg.n_nodes, false))
+{}
+
+DictionaryCodecBase::DictionaryCodecBase(const DictionaryConfig &cfg)
+    : cfg_(cfg), index_bits_(cfg.indexBits())
+{
+    ANOC_ASSERT(cfg.n_nodes > 0, "dictionary codec needs at least one node");
+    decoders_.reserve(cfg.n_nodes);
+    for (std::size_t i = 0; i < cfg.n_nodes; ++i)
+        decoders_.emplace_back(cfg);
+    pending_.resize(cfg.n_nodes);
+
+    if (cfg_.preload_zero) {
+        for (auto &d : decoders_) {
+            std::size_t slot = d.pmt.insert(0);
+            ANOC_ASSERT(slot == 0, "zero preload must land in slot 0");
+            d.types[slot] = DataType::Raw;
+            std::fill(d.known_by[slot].begin(), d.known_by[slot].end(),
+                      true);
+        }
+    }
+}
+
+void
+DictionaryCodecBase::preloadEncoders()
+{
+    if (!cfg_.preload_zero)
+        return;
+    for (NodeId e = 0; e < cfg_.n_nodes; ++e)
+        for (NodeId d = 0; d < cfg_.n_nodes; ++d)
+            applyUpdateAtEncoder(
+                e, Update{0, false, 0, DataType::Raw, 0, d});
+}
+
+EncodedBlock
+DictionaryCodecBase::encode(const DataBlock &block, NodeId src, NodeId dst,
+                            Cycle now)
+{
+    ANOC_ASSERT(src < cfg_.n_nodes && dst < cfg_.n_nodes,
+                "node id out of range in dictionary encode");
+    applyPending(src, now);
+    noteEncoded(block.size());
+    EncodedBlock enc;
+    for (std::size_t i = 0; i < block.size(); ++i)
+        enc.append(encodeWord(block.word(i), block, src, dst));
+    enc.setMeta(block.type(), block.approximable());
+
+    // Incompressible-block fallback (after Das et al. [12]): when the
+    // per-word encoding would expand the block, send it raw; the
+    // compressed/raw flag rides in the (uncompressed) head flit.
+    if (enc.bits() > block.sizeBits() && block.size() > 0) {
+        EncodedBlock raw;
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            EncodedWord ew;
+            ew.kind = static_cast<std::uint8_t>(DiWordKind::Raw);
+            ew.bits = 32;
+            ew.payload = block.word(i);
+            ew.decoded = block.word(i);
+            ew.uncompressed = true;
+            raw.append(ew);
+        }
+        raw.setMeta(block.type(), block.approximable());
+        return raw;
+    }
+    return enc;
+}
+
+DataBlock
+DictionaryCodecBase::decode(const EncodedBlock &enc, NodeId src, NodeId dst,
+                            Cycle now)
+{
+    ANOC_ASSERT(src < cfg_.n_nodes && dst < cfg_.n_nodes,
+                "node id out of range in dictionary decode");
+    DecoderState &d = decoders_[dst];
+    noteDecoded(enc.wordCount());
+    std::vector<Word> ws;
+    ws.reserve(enc.wordCount());
+
+    for (const auto &w : enc.words()) {
+        Word v;
+        if (w.kind == static_cast<std::uint8_t>(DiWordKind::Compressed)) {
+            // The value the decoder produces is w.decoded (the pattern
+            // the encoder's consistent view maps the index to). We then
+            // verify the decoder's own tables agree — via either the
+            // live PMT entry or a not-yet-expired stale mapping from an
+            // in-flight eviction — and count any disagreement as a
+            // protocol violation.
+            std::size_t index = w.payload;
+            bool consistent = false;
+
+            if (index < d.pmt.capacity() && d.pmt.valid(index) &&
+                d.pmt.key(index) == w.decoded) {
+                d.pmt.touch(index);
+                consistent = true;
+            } else if (auto stale_it = d.stale.find({index, src});
+                       stale_it != d.stale.end()) {
+                auto &gens = stale_it->second;
+                std::erase_if(gens, [now](const auto &g) {
+                    return g.second <= now;
+                });
+                for (const auto &g : gens)
+                    consistent = consistent || g.first == w.decoded;
+                if (gens.empty())
+                    d.stale.erase(stale_it);
+            }
+            if (!consistent)
+                noteMismatch();
+            v = w.decoded;
+        } else {
+            v = w.payload;
+            learn(v, enc.type(), src, dst, now);
+            if (v != w.decoded)
+                noteMismatch();
+        }
+        for (unsigned r = 0; r < w.run; ++r)
+            ws.push_back(v);
+    }
+    return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
+
+void
+DictionaryCodecBase::learn(Word w, DataType type, NodeId src, NodeId dst,
+                           Cycle now)
+{
+    DecoderState &d = decoders_[dst];
+
+    // Update-rate limiting: at most one notification per decoder per
+    // notify_min_interval cycles; a skipped opportunity simply recurs
+    // on a later sighting of the pattern.
+    const bool may_notify =
+        !d.ever_notified || now >= d.last_notify + cfg_.notify_min_interval;
+    auto mark_notified = [&] {
+        d.last_notify = now;
+        d.ever_notified = true;
+    };
+
+    if (auto slot = d.pmt.peek(w)) {
+        d.pmt.touch(*slot);
+        if (!d.known_by[*slot][src] && may_notify) {
+            d.known_by[*slot][src] = true;
+            mark_notified();
+            send(src, Update{now + cfg_.notify_delay, false, w, type,
+                             static_cast<std::uint8_t>(*slot), dst},
+                 now);
+        }
+        return;
+    }
+
+    std::size_t tslot = d.tracker.insert(w);
+    if (d.tracker.frequency(tslot) < cfg_.promote_threshold || !may_notify)
+        return;
+    mark_notified();
+
+    // Promote: allocate a decoder PMT slot, invalidating the victim at
+    // every encoder that knew it.
+    std::size_t victim = d.pmt.victimFor(w);
+    if (d.pmt.valid(victim)) {
+        Word old = d.pmt.key(victim);
+        for (NodeId e = 0; e < cfg_.n_nodes; ++e) {
+            if (d.known_by[victim][e]) {
+                send(e, Update{now + cfg_.notify_delay, true, old,
+                               d.types[victim],
+                               static_cast<std::uint8_t>(victim), dst},
+                     now);
+                d.stale[{victim, e}].emplace_back(
+                    old, now + cfg_.notify_delay + cfg_.zombie_grace);
+            }
+        }
+    }
+    std::size_t slot = d.pmt.insert(w);
+    ANOC_ASSERT(slot == victim, "decoder PMT victim selection diverged");
+    d.types[slot] = type;
+    std::fill(d.known_by[slot].begin(), d.known_by[slot].end(), false);
+    d.known_by[slot][src] = true;
+    d.tracker.erase(tslot);
+    send(src, Update{now + cfg_.notify_delay, false, w, type,
+                     static_cast<std::uint8_t>(slot), dst},
+         now);
+}
+
+void
+DictionaryCodecBase::send(NodeId enc, Update u, Cycle now)
+{
+    (void)now;
+    pending_[enc].push_back(u);
+    notify_queue_.push_back(Notification{u.decoder, enc});
+    ++notifications_sent_;
+}
+
+void
+DictionaryCodecBase::applyPending(NodeId enc, Cycle now)
+{
+    auto &q = pending_[enc];
+    while (!q.empty() && q.front().apply <= now) {
+        applyUpdateAtEncoder(enc, q.front());
+        q.pop_front();
+    }
+}
+
+std::vector<CodecSystem::Notification>
+DictionaryCodecBase::drainNotifications()
+{
+    std::vector<Notification> out;
+    out.swap(notify_queue_);
+    return out;
+}
+
+std::size_t
+DictionaryCodecBase::decoderPatternCount(NodeId node) const
+{
+    return decoders_[node].pmt.validCount();
+}
+
+std::uint64_t
+DictionaryCodecBase::decoderSearches() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : decoders_)
+        n += d.pmt.searches() + d.tracker.searches();
+    return n;
+}
+
+std::uint64_t
+DictionaryCodecBase::decoderWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : decoders_)
+        n += d.pmt.writes() + d.tracker.writes();
+    return n;
+}
+
+DiCompCodec::EncoderState::EncoderState(const DictionaryConfig &cfg)
+    : cam(cfg.pmt_entries, cfg.policy),
+      index_for_dst(cfg.pmt_entries,
+                    std::vector<std::int16_t>(cfg.n_nodes, kNoIndex))
+{}
+
+DiCompCodec::DiCompCodec(const DictionaryConfig &cfg)
+    : DictionaryCodecBase(cfg)
+{
+    encoders_.reserve(cfg.n_nodes);
+    for (std::size_t i = 0; i < cfg.n_nodes; ++i)
+        encoders_.emplace_back(cfg);
+    preloadEncoders();
+}
+
+EncodedWord
+DiCompCodec::encodeWord(Word w, const DataBlock &, NodeId src, NodeId dst)
+{
+    EncoderState &e = encoders_[src];
+    EncodedWord ew;
+    auto slot = e.cam.search(w);
+    if (slot && e.index_for_dst[*slot][dst] != kNoIndex) {
+        ew.kind = static_cast<std::uint8_t>(DiWordKind::Compressed);
+        ew.bits = compressedBits();
+        ew.payload = static_cast<std::uint32_t>(e.index_for_dst[*slot][dst]);
+        ew.decoded = w;
+    } else {
+        ew.kind = static_cast<std::uint8_t>(DiWordKind::Raw);
+        ew.bits = rawBits();
+        ew.payload = w;
+        ew.decoded = w;
+        ew.uncompressed = true;
+    }
+    return ew;
+}
+
+void
+DiCompCodec::applyUpdateAtEncoder(NodeId enc, const Update &u)
+{
+    EncoderState &e = encoders_[enc];
+    if (u.invalidate) {
+        for (std::size_t s = 0; s < e.cam.capacity(); ++s)
+            if (e.index_for_dst[s][u.decoder] == static_cast<std::int16_t>(u.index))
+                e.index_for_dst[s][u.decoder] = kNoIndex;
+        return;
+    }
+    std::size_t slot = e.cam.victimFor(u.pattern);
+    bool evicting = e.cam.valid(slot) && e.cam.key(slot) != u.pattern;
+    if (evicting)
+        std::fill(e.index_for_dst[slot].begin(), e.index_for_dst[slot].end(),
+                  kNoIndex);
+    std::size_t got = e.cam.insert(u.pattern);
+    ANOC_ASSERT(got == slot, "encoder PMT victim selection diverged");
+    e.index_for_dst[slot][u.decoder] = static_cast<std::int16_t>(u.index);
+}
+
+std::uint64_t
+DiCompCodec::encoderSearches() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : encoders_)
+        n += e.cam.searches();
+    return n;
+}
+
+std::uint64_t
+DiCompCodec::encoderWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : encoders_)
+        n += e.cam.writes();
+    return n;
+}
+
+std::size_t
+DiCompCodec::encoderPatternCount(NodeId node) const
+{
+    return encoders_[node].cam.validCount();
+}
+
+} // namespace approxnoc

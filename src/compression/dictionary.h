@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Dictionary-based NoC compression (DI-COMP) after Jin et al. [17] and
+ * the paper's Fig. 7: decoders learn frequent patterns per sender and
+ * send update notifications; encoder PMTs keep a per-destination vector
+ * of encoded indices. The decoder-side learning, update channel and
+ * consistency protocol live in DictionaryCodecBase so the DI-VAXX
+ * variant (TCAM encoder, approx/di_vaxx.h) can reuse them.
+ *
+ * Consistency protocol: notifications apply at the encoder after
+ * `notify_delay` cycles (FIFO per encoder, so ordering is preserved).
+ * When the decoder evicts a PMT entry it keeps a per-(index, sender)
+ * "stale" mapping alive until the matching invalidation has applied at
+ * the sender plus a grace window, so indices compressed with the old
+ * view still decode to the old pattern. Any residual disagreement is
+ * counted by consistencyMismatches() (expected zero).
+ */
+#ifndef APPROXNOC_COMPRESSION_DICTIONARY_H
+#define APPROXNOC_COMPRESSION_DICTIONARY_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+#include "compression/codec.h"
+#include "tcam/cam.h"
+
+namespace approxnoc {
+
+/** Tunables for the dictionary schemes (paper Table 1: 8-entry PMTs). */
+struct DictionaryConfig {
+    std::size_t n_nodes = 16;          ///< endpoints in the network
+    std::size_t pmt_entries = 8;       ///< encoder/decoder PMT size
+    std::size_t tracker_entries = 64;  ///< decoder candidate tracker size
+    std::uint32_t promote_threshold = 3; ///< sightings before promotion
+    Cycle notify_delay = 20;           ///< decoder->encoder update latency
+    /**
+     * Minimum spacing between update notifications from one decoder.
+     * Bounds the control-packet overhead of dictionary training on
+     * churn-heavy data (a decoder simply retries on a later sighting).
+     */
+    Cycle notify_min_interval = 50;
+    Cycle zombie_grace = 2000;         ///< stale decode window after eviction
+    ReplacementPolicy policy = ReplacementPolicy::Lfu;
+    /**
+     * Hardwire the all-zero word into every PMT at reset (index 0),
+     * as frequent-value compression does [37] — zero lines dominate
+     * real cache traffic and need no training.
+     */
+    bool preload_zero = true;
+
+    /** Bits of an encoded index (3 for the default 8-entry PMT). */
+    unsigned indexBits() const;
+};
+
+/** Per-word NR layout for the dictionary schemes. */
+enum class DiWordKind : std::uint8_t {
+    Raw = 0,        ///< 1 flag bit + 32 raw bits
+    Compressed = 1, ///< 1 flag bit + indexBits() bits
+};
+
+/**
+ * Shared machinery: decoder PMTs + candidate trackers, the delayed
+ * update channel, eviction/invalidation bookkeeping and the decode
+ * path. Subclasses own the encoder-side structures.
+ */
+class DictionaryCodecBase : public CodecSystem
+{
+  public:
+    explicit DictionaryCodecBase(const DictionaryConfig &cfg);
+
+    EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
+                        Cycle now) override;
+    DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
+                     Cycle now) override;
+
+    std::vector<Notification> drainNotifications() override;
+
+    std::uint8_t
+    rawKind() const override
+    {
+        return static_cast<std::uint8_t>(DiWordKind::Raw);
+    }
+
+    const DictionaryConfig &config() const { return cfg_; }
+
+    /** Decoder PMT occupancy at @p node (diagnostics / tests). */
+    std::size_t decoderPatternCount(NodeId node) const;
+
+    /** Total update + invalidate notifications ever sent. */
+    std::uint64_t notificationsSent() const { return notifications_sent_; }
+
+    /** Total CAM/TCAM search and write activity (power model input). */
+    virtual std::uint64_t encoderSearches() const = 0;
+    virtual std::uint64_t encoderWrites() const = 0;
+    std::uint64_t decoderSearches() const;
+    std::uint64_t decoderWrites() const;
+
+    CodecActivity
+    activity() const override
+    {
+        CodecActivity a = CodecSystem::activity();
+        a.cam_searches = encoderSearches() + decoderSearches();
+        a.cam_writes = encoderWrites() + decoderWrites();
+        return a;
+    }
+
+  protected:
+    /** An update or invalidation in flight towards an encoder. */
+    struct Update {
+        Cycle apply = 0;         ///< cycle at which the encoder sees it
+        bool invalidate = false; ///< true: drop (decoder,index) mapping
+        Word pattern = 0;        ///< pattern being installed (updates)
+        DataType type = DataType::Raw; ///< data type the pattern was learned from
+        std::uint8_t index = 0;  ///< decoder PMT index
+        NodeId decoder = 0;      ///< decoder that owns the index
+    };
+
+    /** Encode a single word at @p src for @p dst (encoder tables). */
+    virtual EncodedWord encodeWord(Word w, const DataBlock &block,
+                                   NodeId src, NodeId dst) = 0;
+
+    /** Apply one due notification to encoder @p enc's tables. */
+    virtual void applyUpdateAtEncoder(NodeId enc, const Update &u) = 0;
+
+    /** Apply every notification due at @p now for encoder @p enc. */
+    void applyPending(NodeId enc, Cycle now);
+
+    /**
+     * Install the preloaded zero pattern into every encoder via
+     * applyUpdateAtEncoder. Subclasses call this at the end of their
+     * constructor (the decoder side is preloaded by the base).
+     */
+    void preloadEncoders();
+
+    /** Word length of a compressed unit, in bits (flag + index). */
+    std::uint16_t compressedBits() const { return 1 + index_bits_; }
+    /** Word length of a raw unit, in bits (flag + word). */
+    std::uint16_t rawBits() const { return 1 + 32; }
+
+    DictionaryConfig cfg_;
+    unsigned index_bits_;
+
+  private:
+    /** Decoder-side learning on an uncompressed word from @p src. */
+    void learn(Word w, DataType type, NodeId src, NodeId dst, Cycle now);
+
+    /** Queue an update/invalidate towards encoder @p enc. */
+    void send(NodeId enc, Update u, Cycle now);
+
+    struct DecoderState {
+        Cam pmt;     ///< slot == encoded index
+        Cam tracker; ///< candidate frequency tracking
+        std::vector<DataType> types;            ///< per-slot learned type
+        std::vector<std::vector<bool>> known_by; ///< [slot][encoder]
+        /**
+         * (index, sender) -> patterns still decodable after eviction.
+         * Multiple generations can be in flight when a slot is evicted
+         * repeatedly within the notification window.
+         */
+        std::map<std::pair<std::size_t, NodeId>,
+                 std::vector<std::pair<Word, Cycle>>>
+            stale;
+        /** Last cycle this decoder sent an update (rate limiting). */
+        Cycle last_notify = 0;
+        bool ever_notified = false;
+
+        DecoderState(const DictionaryConfig &cfg);
+    };
+
+    std::vector<DecoderState> decoders_;
+    std::vector<std::deque<Update>> pending_; ///< per-encoder FIFO
+    std::vector<Notification> notify_queue_;
+    std::uint64_t notifications_sent_ = 0;
+};
+
+/**
+ * Exact dictionary compression (the paper's DI-COMP baseline).
+ * Encoder PMT: an exact-match CAM plus, per slot, the per-destination
+ * encoded index vector of Fig. 7(a).
+ */
+class DiCompCodec : public DictionaryCodecBase
+{
+  public:
+    explicit DiCompCodec(const DictionaryConfig &cfg);
+
+    Scheme scheme() const override { return Scheme::DiComp; }
+
+    std::uint64_t encoderSearches() const override;
+    std::uint64_t encoderWrites() const override;
+
+    /** Encoder PMT occupancy at @p node (tests). */
+    std::size_t encoderPatternCount(NodeId node) const;
+
+  protected:
+    EncodedWord encodeWord(Word w, const DataBlock &block, NodeId src,
+                           NodeId dst) override;
+    void applyUpdateAtEncoder(NodeId enc, const Update &u) override;
+
+  private:
+    static constexpr std::int16_t kNoIndex = -1;
+
+    struct EncoderState {
+        Cam cam;
+        /** [slot][dst] -> decoder index or kNoIndex. */
+        std::vector<std::vector<std::int16_t>> index_for_dst;
+
+        EncoderState(const DictionaryConfig &cfg);
+    };
+
+    std::vector<EncoderState> encoders_;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMPRESSION_DICTIONARY_H

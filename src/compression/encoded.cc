@@ -1,0 +1,45 @@
+#include "compression/encoded.h"
+
+namespace approxnoc {
+
+std::size_t
+EncodedBlock::approximatedWords() const
+{
+    std::size_t n = 0;
+    for (const auto &w : words_)
+        n += w.approx_count;
+    return n;
+}
+
+std::size_t
+EncodedBlock::exactCompressedWords() const
+{
+    std::size_t n = 0;
+    for (const auto &w : words_)
+        if (!w.uncompressed)
+            n += w.run - w.approx_count;
+    return n;
+}
+
+std::size_t
+EncodedBlock::uncompressedWords() const
+{
+    std::size_t n = 0;
+    for (const auto &w : words_)
+        if (w.uncompressed)
+            n += w.run;
+    return n;
+}
+
+DataBlock
+EncodedBlock::expectedBlock() const
+{
+    std::vector<Word> ws;
+    ws.reserve(n_words_);
+    for (const auto &w : words_)
+        for (unsigned r = 0; r < w.run; ++r)
+            ws.push_back(w.decoded);
+    return DataBlock(std::move(ws), type_, approximable_);
+}
+
+} // namespace approxnoc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Frequent Pattern Compression (Alameldeen & Wood [5], as adapted to
+ * NoCs by Das et al. [12]). Implements exactly the paper's Fig. 5
+ * pattern table, plus a don't-care-aware solver: given a word and a
+ * number of approximable low bits k, find the highest-priority pattern
+ * some candidate value (differing from the word only in those k bits)
+ * matches. k = 0 gives plain exact FPC; k > 0 is the FP-VAXX matching
+ * rule (Fig. 6: the non-shaded bits must match the pattern exactly).
+ */
+#ifndef APPROXNOC_COMPRESSION_FPC_H
+#define APPROXNOC_COMPRESSION_FPC_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+#include "compression/codec.h"
+#include "compression/encoded.h"
+
+namespace approxnoc {
+
+/** The static frequent patterns, Fig. 5 (encoded index = enum value). */
+enum class FpcPattern : std::uint8_t {
+    ZeroRun = 0,       ///< run of 1..8 zero words, 3 data bits
+    Sign4 = 1,         ///< 4-bit sign-extended, 4 data bits
+    Sign8 = 2,         ///< one byte sign-extended, 8 data bits
+    Sign16 = 3,        ///< halfword sign-extended, 16 data bits
+    HalfPadded = 4,    ///< halfword padded with a zero halfword, 16 bits
+    TwoHalfSign8 = 5,  ///< two halfwords, each a byte sign-extended, 16 bits
+    Uncompressed = 7,  ///< raw word, 32 data bits
+};
+
+/** Human-readable pattern name. */
+std::string to_string(FpcPattern p);
+
+/** Number of payload data bits for @p p (excluding the 3-bit prefix). */
+unsigned fpc_data_bits(FpcPattern p);
+
+/** The 3-bit prefix plus payload size of one encoded unit. */
+inline constexpr unsigned kFpcPrefixBits = 3;
+
+/** Result of matching one word against one pattern. */
+struct FpcMatch {
+    FpcPattern pattern;
+    /** The value the decoder will reconstruct. */
+    Word candidate;
+    /** Payload bits to transmit. */
+    std::uint32_t payload;
+};
+
+/**
+ * Try to match @p w against pattern @p p, allowing the low @p k bits of
+ * the word to take any value (don't cares). Picks the candidate that
+ * keeps as many of w's original bits as the pattern permits.
+ *
+ * @return the match, or nullopt when no assignment of the k free bits
+ *         satisfies the pattern.
+ */
+std::optional<FpcMatch> fpc_try_pattern(FpcPattern p, Word w, unsigned k);
+
+/**
+ * Match @p w against the whole table in priority (table) order with
+ * @p k don't-care bits. Never returns Uncompressed: a miss is nullopt.
+ */
+std::optional<FpcMatch> fpc_match(Word w, unsigned k = 0);
+
+/** Reconstruct a word from a pattern + payload (the decoder datapath). */
+Word fpc_decode(FpcPattern p, std::uint32_t payload);
+
+/**
+ * The FP-COMP codec: stateless per-word FPC with block-level zero-run
+ * merging. Shared by every node (the pattern table is static).
+ */
+class FpcCodec : public CodecSystem
+{
+  public:
+    FpcCodec() = default;
+
+    Scheme scheme() const override { return Scheme::FpComp; }
+
+    std::uint8_t
+    rawKind() const override
+    {
+        return static_cast<std::uint8_t>(FpcPattern::Uncompressed);
+    }
+
+    EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
+                        Cycle now) override;
+    DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
+                     Cycle now) override;
+};
+
+/**
+ * Block-level FPC encoding helper used by both FpcCodec and FpVaxxCodec:
+ * @p k_of_word yields the per-word don't-care count (0 when exact).
+ * Merges consecutive zero words (exact or approximated-to-zero) into
+ * zero-run units.
+ */
+template <typename KFn>
+EncodedBlock
+fpc_encode_block(const DataBlock &block, KFn &&k_of_word)
+{
+    EncodedBlock enc;
+    std::size_t i = 0;
+    const std::size_t n = block.size();
+    while (i < n) {
+        unsigned k = k_of_word(i);
+        auto m = fpc_match(block.word(i), k);
+        if (m && m->pattern == FpcPattern::ZeroRun) {
+            // Greedily extend the zero run up to 8 words.
+            std::uint8_t run = 1;
+            std::uint8_t approx = block.word(i) != 0 ? 1 : 0;
+            while (i + run < n && run < 8) {
+                auto mr = fpc_match(block.word(i + run), k_of_word(i + run));
+                if (!mr || mr->pattern != FpcPattern::ZeroRun)
+                    break;
+                approx += block.word(i + run) != 0 ? 1 : 0;
+                ++run;
+            }
+            EncodedWord ew;
+            ew.kind = static_cast<std::uint8_t>(FpcPattern::ZeroRun);
+            ew.bits = kFpcPrefixBits + fpc_data_bits(FpcPattern::ZeroRun);
+            ew.payload = run - 1u;
+            ew.run = run;
+            ew.approx_count = approx;
+            ew.decoded = 0;
+            ew.approximated = approx > 0;
+            enc.append(ew);
+            i += run;
+            continue;
+        }
+        EncodedWord ew;
+        if (m) {
+            ew.kind = static_cast<std::uint8_t>(m->pattern);
+            ew.bits = kFpcPrefixBits + fpc_data_bits(m->pattern);
+            ew.payload = m->payload;
+            ew.decoded = m->candidate;
+            ew.approximated = m->candidate != block.word(i);
+            ew.approx_count = ew.approximated ? 1 : 0;
+        } else {
+            ew.kind = static_cast<std::uint8_t>(FpcPattern::Uncompressed);
+            ew.bits = kFpcPrefixBits + 32;
+            ew.payload = block.word(i);
+            ew.decoded = block.word(i);
+            ew.uncompressed = true;
+        }
+        enc.append(ew);
+        ++i;
+    }
+    enc.setMeta(block.type(), block.approximable());
+
+    // Incompressible-block fallback (after Das et al. [12]): a block
+    // the patterns cannot shrink travels raw; the compressed/raw flag
+    // rides in the (uncompressed) head flit.
+    if (enc.bits() > block.sizeBits() && block.size() > 0) {
+        EncodedBlock raw;
+        for (std::size_t j = 0; j < block.size(); ++j) {
+            EncodedWord ew;
+            ew.kind = static_cast<std::uint8_t>(FpcPattern::Uncompressed);
+            ew.bits = 32;
+            ew.payload = block.word(j);
+            ew.decoded = block.word(j);
+            ew.uncompressed = true;
+            raw.append(ew);
+        }
+        raw.setMeta(block.type(), block.approximable());
+        return raw;
+    }
+    return enc;
+}
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMPRESSION_FPC_H

@@ -1,0 +1,127 @@
+#include "compression/wire.h"
+
+#include "common/log.h"
+#include "compression/dictionary.h"
+#include "compression/fpc.h"
+
+namespace approxnoc {
+
+namespace {
+
+bool
+is_raw_fallback(const EncodedBlock &enc)
+{
+    return enc.bits() == enc.wordCount() * 32 &&
+           enc.uncompressedWords() == enc.wordCount();
+}
+
+} // namespace
+
+namespace fpc_wire {
+
+std::vector<std::uint8_t>
+pack(const EncodedBlock &enc, bool &raw_flag)
+{
+    BitWriter w;
+    raw_flag = is_raw_fallback(enc);
+    if (raw_flag) {
+        for (const auto &u : enc.words())
+            w.write(u.payload, 32);
+    } else {
+        for (const auto &u : enc.words()) {
+            if (u.uncompressed) {
+                w.write(static_cast<std::uint8_t>(FpcPattern::Uncompressed),
+                        kFpcPrefixBits);
+                w.write(u.payload, 32);
+            } else {
+                auto p = static_cast<FpcPattern>(u.kind);
+                w.write(u.kind, kFpcPrefixBits);
+                w.write(u.payload, fpc_data_bits(p));
+            }
+        }
+    }
+    ANOC_ASSERT(w.bitCount() == enc.bits(),
+                "FPC wire size ", w.bitCount(), " != accounted ",
+                enc.bits());
+    return w.bytes();
+}
+
+DataBlock
+unpack(const std::vector<std::uint8_t> &bytes, bool raw_flag,
+       std::size_t n_words, DataType type, bool approximable)
+{
+    BitReader r(bytes);
+    std::vector<Word> ws;
+    ws.reserve(n_words);
+    if (raw_flag) {
+        for (std::size_t i = 0; i < n_words; ++i)
+            ws.push_back(static_cast<Word>(r.read(32)));
+    } else {
+        while (ws.size() < n_words) {
+            auto p = static_cast<FpcPattern>(r.read(kFpcPrefixBits));
+            std::uint32_t payload =
+                static_cast<std::uint32_t>(r.read(fpc_data_bits(p)));
+            if (p == FpcPattern::ZeroRun) {
+                unsigned run = payload + 1;
+                for (unsigned i = 0; i < run && ws.size() < n_words; ++i)
+                    ws.push_back(0);
+            } else {
+                ws.push_back(fpc_decode(p, payload));
+            }
+        }
+    }
+    return DataBlock(std::move(ws), type, approximable);
+}
+
+} // namespace fpc_wire
+
+namespace di_wire {
+
+std::vector<std::uint8_t>
+pack(const EncodedBlock &enc, bool &raw_flag)
+{
+    BitWriter w;
+    raw_flag = is_raw_fallback(enc);
+    if (raw_flag) {
+        for (const auto &u : enc.words())
+            w.write(u.payload, 32);
+    } else {
+        for (const auto &u : enc.words()) {
+            bool compressed =
+                u.kind == static_cast<std::uint8_t>(DiWordKind::Compressed);
+            w.write(compressed ? 1u : 0u, 1);
+            // Index width = unit bits minus the flag bit.
+            w.write(u.payload, u.bits - 1);
+        }
+    }
+    ANOC_ASSERT(w.bitCount() == enc.bits(),
+                "dictionary wire size ", w.bitCount(), " != accounted ",
+                enc.bits());
+    return w.bytes();
+}
+
+std::vector<Unit>
+unpack(const std::vector<std::uint8_t> &bytes, bool raw_flag,
+       std::size_t n_words, unsigned index_bits)
+{
+    BitReader r(bytes);
+    std::vector<Unit> units;
+    units.reserve(n_words);
+    for (std::size_t i = 0; i < n_words; ++i) {
+        Unit u;
+        if (raw_flag) {
+            u.compressed = false;
+            u.payload = static_cast<std::uint32_t>(r.read(32));
+        } else {
+            u.compressed = r.read(1) != 0;
+            u.payload = static_cast<std::uint32_t>(
+                r.read(u.compressed ? index_bits : 32));
+        }
+        units.push_back(u);
+    }
+    return units;
+}
+
+} // namespace di_wire
+
+} // namespace approxnoc

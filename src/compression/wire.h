@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Wire formats: serialize encoded blocks to an actual bitstream and
+ * back, proving the bit counts the codecs account for are achievable
+ * on real flits. The head flit carries the block-level raw flag and
+ * the word count, so both are out-of-band here.
+ */
+#ifndef APPROXNOC_COMPRESSION_WIRE_H
+#define APPROXNOC_COMPRESSION_WIRE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/data_block.h"
+#include "compression/encoded.h"
+
+namespace approxnoc {
+
+/** FPC / FP-VAXX wire format (3-bit prefix + pattern data bits). */
+namespace fpc_wire {
+
+/**
+ * Pack @p enc into a bitstream.
+ * @param[out] raw_flag set when the block is a raw fallback (no
+ *             prefixes on the wire).
+ * Panics if the packed size disagrees with enc.bits().
+ */
+std::vector<std::uint8_t> pack(const EncodedBlock &enc, bool &raw_flag);
+
+/**
+ * Decode @p bytes back into words. This is the *real* decoder datapath:
+ * it reconstructs values purely from bits.
+ */
+DataBlock unpack(const std::vector<std::uint8_t> &bytes, bool raw_flag,
+                 std::size_t n_words, DataType type, bool approximable);
+
+} // namespace fpc_wire
+
+/** Dictionary wire format (1 flag bit + index or raw word). */
+namespace di_wire {
+
+/** One deserialized unit. */
+struct Unit {
+    bool compressed = false;
+    std::uint32_t payload = 0; ///< PMT index or raw word
+};
+
+std::vector<std::uint8_t> pack(const EncodedBlock &enc, bool &raw_flag);
+
+/**
+ * Deserialize the unit stream; mapping indices to values requires the
+ * decoder PMT and is the codec's job.
+ */
+std::vector<Unit> unpack(const std::vector<std::uint8_t> &bytes,
+                         bool raw_flag, std::size_t n_words,
+                         unsigned index_bits);
+
+} // namespace di_wire
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMPRESSION_WIRE_H

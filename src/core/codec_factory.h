@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The APPROX-NoC framework entry point: a single configuration object
+ * covering the approximation policy (error threshold, error-range mode,
+ * VAXX placement) and the underlying compression scheme, plus the
+ * factory that builds the matching CodecSystem. VAXX is plug-and-play:
+ * pick any Scheme and the factory assembles the right pipeline.
+ */
+#ifndef APPROXNOC_CORE_CODEC_FACTORY_H
+#define APPROXNOC_CORE_CODEC_FACTORY_H
+
+#include <memory>
+
+#include "approx/di_vaxx.h"
+#include "approx/error_model.h"
+#include "approx/fp_vaxx.h"
+#include "compression/codec.h"
+#include "compression/dictionary.h"
+#include "compression/fpc.h"
+
+namespace approxnoc {
+
+/** Everything needed to instantiate any of the five paper schemes. */
+struct CodecConfig {
+    /** Number of network endpoints (dictionary schemes). */
+    std::size_t n_nodes = 32;
+    /** Error threshold e%% (paper default 10). */
+    double error_threshold_pct = 10.0;
+    /** Error-range computation (paper: shift). */
+    ErrorRangeMode error_mode = ErrorRangeMode::Shift;
+    /** FP-VAXX priority behaviour (paper: PreferApprox). */
+    FpcPriorityMode fpc_priority = FpcPriorityMode::PreferApprox;
+    /** DI-VAXX approximation placement (paper: Insertion). */
+    VaxxPlacement vaxx_placement = VaxxPlacement::Insertion;
+    /** Dictionary parameters (n_nodes is overwritten from above). */
+    DictionaryConfig dict;
+
+    ErrorModel
+    errorModel() const
+    {
+        return ErrorModel(error_threshold_pct, error_mode);
+    }
+};
+
+/** Build the codec system for @p scheme under @p cfg. */
+std::unique_ptr<CodecSystem> make_codec(Scheme scheme,
+                                        const CodecConfig &cfg);
+
+/** Parse a scheme name ("Baseline", "DI-COMP", "di-vaxx"...). */
+Scheme scheme_from_string(const std::string &name);
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_CORE_CODEC_FACTORY_H

@@ -1,0 +1,36 @@
+#include "core/error_control.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+QosController::QosController(double target_error_pct, double initial_pct,
+                             double min_pct, double max_pct,
+                             double additive_step,
+                             double multiplicative_cut)
+    : target_(target_error_pct), threshold_(initial_pct), min_(min_pct),
+      max_(max_pct), step_(additive_step), cut_(multiplicative_cut)
+{
+    ANOC_ASSERT(target_error_pct >= 0.0, "QoS target must be non-negative");
+    ANOC_ASSERT(multiplicative_cut > 0.0 && multiplicative_cut < 1.0,
+                "multiplicative cut must be in (0, 1)");
+    ANOC_ASSERT(min_pct <= initial_pct && initial_pct <= max_pct,
+                "initial threshold outside [min, max]");
+}
+
+double
+QosController::update(double measured_error_pct)
+{
+    if (measured_error_pct > target_) {
+        ++violations_;
+        threshold_ *= cut_;
+    } else {
+        threshold_ += step_;
+    }
+    threshold_ = std::clamp(threshold_, min_, max_);
+    return threshold_;
+}
+
+} // namespace approxnoc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Online data-error control (the abstract's "online data error control
+ * mechanism", in the runtime-QoS spirit of Rumba [18]): an AIMD
+ * controller keeps the *measured* data error under an application
+ * quality target by retuning the codec's error threshold while the
+ * system runs — raising it gently while quality is comfortable,
+ * cutting it multiplicatively on violation. The network-side closed
+ * loop lives in noc/qos_loop.h.
+ */
+#ifndef APPROXNOC_CORE_ERROR_CONTROL_H
+#define APPROXNOC_CORE_ERROR_CONTROL_H
+
+#include <cstdint>
+
+namespace approxnoc {
+
+/** AIMD threshold controller. Pure policy: feed it measurements. */
+class QosController
+{
+  public:
+    /**
+     * @param target_error_pct measured mean data error to stay under.
+     * @param initial_pct starting threshold.
+     * @param min_pct minimum threshold (0 disables approximation).
+     * @param max_pct maximum threshold.
+     * @param additive_step threshold increase when under target.
+     * @param multiplicative_cut factor applied on violation (< 1).
+     */
+    QosController(double target_error_pct, double initial_pct = 10.0,
+                  double min_pct = 0.0, double max_pct = 50.0,
+                  double additive_step = 1.0,
+                  double multiplicative_cut = 0.5);
+
+    /**
+     * Feed the error measured over the last window.
+     * @return the (possibly adjusted) threshold to apply.
+     */
+    double update(double measured_error_pct);
+
+    double threshold() const { return threshold_; }
+    double target() const { return target_; }
+    std::uint64_t violations() const { return violations_; }
+
+  private:
+    double target_;
+    double threshold_;
+    double min_;
+    double max_;
+    double step_;
+    double cut_;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_CORE_ERROR_CONTROL_H

@@ -1,0 +1,51 @@
+#include "core/quality.h"
+
+namespace approxnoc {
+
+void
+QualityTracker::record(const DataBlock &precise, const EncodedBlock &enc,
+                       const DataBlock &delivered)
+{
+    ++blocks_;
+    error_sum_ += block_relative_error(precise, delivered);
+    words_total_ += enc.wordCount();
+    words_exact_ += enc.exactCompressedWords();
+    words_approx_ += enc.approximatedWords();
+    bits_original_ += precise.sizeBits();
+    bits_encoded_ += enc.bits();
+}
+
+double
+QualityTracker::meanRelativeError() const
+{
+    return blocks_ ? error_sum_ / static_cast<double>(blocks_) : 0.0;
+}
+
+double
+QualityTracker::exactEncodedFraction() const
+{
+    return words_total_
+               ? static_cast<double>(words_exact_) /
+                     static_cast<double>(words_total_)
+               : 0.0;
+}
+
+double
+QualityTracker::approxEncodedFraction() const
+{
+    return words_total_
+               ? static_cast<double>(words_approx_) /
+                     static_cast<double>(words_total_)
+               : 0.0;
+}
+
+double
+QualityTracker::compressionRatio() const
+{
+    return bits_encoded_
+               ? static_cast<double>(bits_original_) /
+                     static_cast<double>(bits_encoded_)
+               : 1.0;
+}
+
+} // namespace approxnoc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Data-value quality accounting (paper Fig. 9's Data_approx_quality):
+ * the per-word relative error incurred across all delivered blocks,
+ * reported as quality = 1 - mean relative error. Also tracks the
+ * encoded-word breakdown for Fig. 10(a) and compression ratios for
+ * Fig. 10(b).
+ */
+#ifndef APPROXNOC_CORE_QUALITY_H
+#define APPROXNOC_CORE_QUALITY_H
+
+#include <cstdint>
+
+#include "common/data_block.h"
+#include "compression/encoded.h"
+
+namespace approxnoc {
+
+/** Accumulates codec effectiveness and value quality over blocks. */
+class QualityTracker
+{
+  public:
+    /** Record one encoded block and its delivered reconstruction. */
+    void record(const DataBlock &precise, const EncodedBlock &enc,
+                const DataBlock &delivered);
+
+    /** Blocks observed. */
+    std::uint64_t blocks() const { return blocks_; }
+
+    /** Mean per-word relative error across blocks. */
+    double meanRelativeError() const;
+
+    /** Running sum of per-block mean relative error (windowing). */
+    double errorSum() const { return error_sum_; }
+
+    /** The paper's data quality metric: 1 - meanRelativeError(). */
+    double dataQuality() const { return 1.0 - meanRelativeError(); }
+
+    /** Fraction of words compressed exactly (of all words). */
+    double exactEncodedFraction() const;
+
+    /** Fraction of words compressed via approximation (of all words). */
+    double approxEncodedFraction() const;
+
+    /** Fraction of words encoded at all (exact + approx). */
+    double
+    encodedFraction() const
+    {
+        return exactEncodedFraction() + approxEncodedFraction();
+    }
+
+    /** Mean compression ratio: original bits / NR bits. */
+    double compressionRatio() const;
+
+    std::uint64_t totalWords() const { return words_total_; }
+    std::uint64_t approximatedWords() const { return words_approx_; }
+
+    /** Forget everything (measurement-window bookkeeping). */
+    void reset() { *this = QualityTracker(); }
+
+  private:
+    std::uint64_t blocks_ = 0;
+    double error_sum_ = 0.0; ///< sum of per-block mean relative error
+    std::uint64_t words_total_ = 0;
+    std::uint64_t words_exact_ = 0;
+    std::uint64_t words_approx_ = 0;
+    std::uint64_t bits_original_ = 0;
+    std::uint64_t bits_encoded_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_CORE_QUALITY_H

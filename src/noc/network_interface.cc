@@ -1,0 +1,133 @@
+#include "noc/network_interface.h"
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+NetworkInterface::NetworkInterface(NodeId id, const NocConfig &cfg,
+                                   CodecSystem *codec)
+    : Clocked("ni" + std::to_string(id)), id_(id), cfg_(cfg), codec_(codec),
+      vc_busy_(cfg.vcs, false), credits_(cfg.vcs, cfg.vc_depth)
+{
+    ANOC_ASSERT(codec != nullptr, "NI requires a codec (use BaselineCodec)");
+}
+
+void
+NetworkInterface::connectInjection(Router *r, unsigned router_in_port)
+{
+    router_ = r;
+    router_port_ = router_in_port;
+    r->connectInput(router_in_port, this, 0);
+}
+
+void
+NetworkInterface::enqueue(const PacketPtr &pkt, Cycle now)
+{
+    pkt->created = now;
+    Cycle ready = now;
+    if (pkt->carries_block) {
+        pkt->enc = codec_->encode(pkt->precise, pkt->src, pkt->dst, now);
+        pkt->n_flits =
+            1 + payload_flits(pkt->enc.bits(), cfg_.flit_bits);
+        ready = now + codec_->compressionLatency();
+    } else {
+        pkt->n_flits = 1;
+    }
+    inj_q_.push_back(QueuedPacket{pkt, ready});
+}
+
+void
+NetworkInterface::creditReturn(unsigned, unsigned vc)
+{
+    ANOC_ASSERT(vc < cfg_.vcs, "credit return vc out of range");
+    ANOC_ASSERT(credits_[vc] < cfg_.vc_depth, "NI credit overflow");
+    ++credits_[vc];
+}
+
+void
+NetworkInterface::evaluate(Cycle now)
+{
+    send_this_cycle_ = false;
+    if (!current_) {
+        if (inj_q_.empty() || inj_q_.front().ready > now)
+            return;
+        current_ = inj_q_.front().pkt;
+        inj_q_.pop_front();
+        next_seq_ = 0;
+        alloc_vc_ = -1;
+    }
+    if (next_seq_ == 0 && alloc_vc_ < 0) {
+        for (unsigned vc = 0; vc < cfg_.vcs; ++vc) {
+            if (!vc_busy_[vc] && credits_[vc] > 0) {
+                alloc_vc_ = static_cast<int>(vc);
+                vc_busy_[vc] = true;
+                break;
+            }
+        }
+    }
+    if (alloc_vc_ >= 0 && credits_[static_cast<unsigned>(alloc_vc_)] > 0)
+        send_this_cycle_ = true;
+}
+
+void
+NetworkInterface::advance(Cycle now)
+{
+    if (!send_this_cycle_)
+        return;
+    ANOC_ASSERT(current_ && router_, "NI advance without packet or router");
+    unsigned vc = static_cast<unsigned>(alloc_vc_);
+
+    Flit f;
+    f.pkt = current_;
+    f.seq = next_seq_;
+    f.is_tail = next_seq_ + 1 == current_->n_flits;
+    f.arrival = now + 1;
+
+    --credits_[vc];
+    router_->acceptFlit(router_port_, vc, f);
+    ++flits_injected_;
+    if (current_->cls == PacketClass::Data)
+        ++data_flits_injected_;
+
+    if (next_seq_ == 0) {
+        current_->inject_start = now;
+        ++packets_injected_;
+    }
+    ++next_seq_;
+    if (f.is_tail) {
+        vc_busy_[vc] = false;
+        current_.reset();
+        next_seq_ = 0;
+        alloc_vc_ = -1;
+    }
+}
+
+void
+NetworkInterface::acceptEjectedFlit(const Flit &f, Cycle now)
+{
+    PacketPtr pkt = f.pkt;
+    ++pkt->ejected_flits;
+    if (pkt->ejected_flits < pkt->n_flits)
+        return;
+
+    ANOC_ASSERT(pkt->ejected_flits == pkt->n_flits,
+                "packet over-ejected: duplicate flits");
+    pkt->eject_done = now;
+    if (pkt->carries_block) {
+        pkt->delivered = codec_->decode(pkt->enc, pkt->src, pkt->dst, now);
+        pkt->decode_done = now + codec_->decompressionLatency();
+    } else {
+        pkt->decode_done = now;
+    }
+    ++packets_delivered_;
+    if (on_delivery_)
+        on_delivery_(pkt, now);
+}
+
+bool
+NetworkInterface::idle() const
+{
+    return inj_q_.empty() && !current_;
+}
+
+} // namespace approxnoc

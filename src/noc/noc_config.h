@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NoC configuration (paper Table 1 defaults): 4x4 2D concentrated
+ * mesh, three-stage 2 GHz routers, 4 VCs x 4-flit buffers, 64-bit
+ * flits, wormhole switching, XY routing.
+ */
+#ifndef APPROXNOC_NOC_NOC_CONFIG_H
+#define APPROXNOC_NOC_NOC_CONFIG_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace approxnoc {
+
+/**
+ * Routing algorithms. XY/YX resolve one dimension completely before
+ * the other; WestFirst is the turn-model partially adaptive scheme.
+ * All are deadlock-free on a mesh without extra virtual channels.
+ */
+enum class RoutingAlgo : std::uint8_t {
+    XY, ///< paper/Table 1 default: column first, then row
+    YX, ///< row first, then column
+    /**
+     * West-first partially adaptive routing (turn model): all westward
+     * hops happen first; afterwards the packet may choose adaptively
+     * among east/north/south by congestion. Deadlock-free on a mesh
+     * without extra VCs; not valid on the torus.
+     */
+    WestFirst,
+};
+
+/**
+ * Network topology. The torus adds wrap-around links per row/column
+ * and uses shortest-direction dimension-order routing; deadlock
+ * freedom on the rings comes from dateline VC classes (the VC set is
+ * split in half; crossing a wrap link forces a packet into the upper
+ * class, entering a new dimension resets it to the lower class).
+ * Requires an even number of VCs.
+ */
+enum class Topology : std::uint8_t {
+    Mesh,  ///< paper/Table 1 default (with concentration: cmesh)
+    Torus, ///< wrap-around links + dateline VCs
+};
+
+struct NocConfig {
+    unsigned rows = 4;           ///< mesh rows
+    unsigned cols = 4;           ///< mesh columns
+    unsigned concentration = 2;  ///< endpoints per router (cmesh)
+    unsigned vcs = 4;            ///< virtual channels per input port
+    unsigned vc_depth = 4;       ///< flit buffer depth per VC
+    unsigned flit_bits = 64;     ///< flit width
+    unsigned router_stages = 3;  ///< pipeline depth (per-hop latency)
+    RoutingAlgo routing = RoutingAlgo::XY;
+    Topology topology = Topology::Mesh;
+
+    unsigned routers() const { return rows * cols; }
+    unsigned nodes() const { return routers() * concentration; }
+    RouterId routerOf(NodeId n) const { return n / concentration; }
+    unsigned localPortOf(NodeId n) const { return n % concentration; }
+    unsigned rowOf(RouterId r) const { return r / cols; }
+    unsigned colOf(RouterId r) const { return r % cols; }
+};
+
+/** Mesh port directions; local ports follow. */
+enum Direction : unsigned {
+    kNorth = 0,
+    kEast = 1,
+    kSouth = 2,
+    kWest = 3,
+    kLocalBase = 4,
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_NOC_NOC_CONFIG_H

@@ -1,0 +1,13 @@
+#include "noc/packet.h"
+
+namespace approxnoc {
+
+unsigned
+payload_flits(std::size_t bits, unsigned flit_bits)
+{
+    if (bits == 0)
+        return 0;
+    return static_cast<unsigned>((bits + flit_bits - 1) / flit_bits);
+}
+
+} // namespace approxnoc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Packets and flits. A packet is packetized into a head flit (header,
+ * never compressed) plus enough 64-bit payload flits for the block's
+ * network representation; control packets are a single flit.
+ */
+#ifndef APPROXNOC_NOC_PACKET_H
+#define APPROXNOC_NOC_PACKET_H
+
+#include <cstdint>
+#include <memory>
+
+#include "common/data_block.h"
+#include "common/types.h"
+#include "compression/encoded.h"
+
+namespace approxnoc {
+
+/** A packet in flight, shared by all of its flits. */
+struct Packet {
+    std::uint64_t id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    PacketClass cls = PacketClass::Control;
+
+    /** Total flits including the head flit. */
+    unsigned n_flits = 1;
+    /** Reassembly progress at the destination NI. */
+    unsigned ejected_flits = 0;
+
+    /** True when this packet carries a cache block payload. */
+    bool carries_block = false;
+    /** The precise block handed to the NI (data packets). */
+    DataBlock precise;
+    /** The network representation produced by the encoder. */
+    EncodedBlock enc;
+    /** The block the decoder reconstructed (set at delivery). */
+    DataBlock delivered;
+
+    /** @name Timestamps (cycles) */
+    ///@{
+    Cycle created = 0;      ///< handed to the NI
+    Cycle inject_start = kNeverCycle; ///< head flit entered the router
+    Cycle eject_done = kNeverCycle;   ///< tail flit left the network
+    Cycle decode_done = kNeverCycle;  ///< decompression finished
+    ///@}
+
+    /** Queue latency: NI arrival to head-flit injection. */
+    Cycle queueLatency() const { return inject_start - created; }
+    /** Network latency: injection to tail ejection. */
+    Cycle netLatency() const { return eject_done - inject_start; }
+    /** Decode latency charged at the ejection side. */
+    Cycle decodeLatency() const { return decode_done - eject_done; }
+    /** Total packet latency (the paper's Fig. 9 metric). */
+    Cycle totalLatency() const { return decode_done - created; }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** One flit of a packet. */
+struct Flit {
+    PacketPtr pkt;
+    unsigned seq = 0; ///< 0 = head
+    bool is_tail = false;
+    /** Cycle this flit entered the buffer it currently occupies. */
+    Cycle arrival = 0;
+
+    bool isHead() const { return seq == 0; }
+};
+
+/** Flits a payload of @p bits occupies at @p flit_bits per flit. */
+unsigned payload_flits(std::size_t bits, unsigned flit_bits);
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_NOC_PACKET_H

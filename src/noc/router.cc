@@ -1,0 +1,249 @@
+#include "noc/router.h"
+
+#include "common/log.h"
+#include "noc/network_interface.h"
+
+namespace approxnoc {
+
+Router::Router(RouterId id, const NocConfig &cfg, RouteFn route)
+    : Clocked("router" + std::to_string(id)), id_(id), cfg_(cfg),
+      route_(std::move(route)),
+      n_ports_(kLocalBase + cfg.concentration)
+{
+    in_.resize(n_ports_);
+    out_.resize(n_ports_);
+    grants_.resize(n_ports_);
+    rr_vc_.resize(n_ports_, 0);
+    for (auto &ip : in_)
+        ip.vcs.resize(cfg_.vcs);
+    for (auto &op : out_) {
+        op.vc_busy.assign(cfg_.vcs, false);
+        op.credits.assign(cfg_.vcs, cfg_.vc_depth);
+    }
+}
+
+void
+Router::connectOutput(unsigned out_port, Router *peer, unsigned peer_in_port)
+{
+    ANOC_ASSERT(out_port < n_ports_, "output port out of range");
+    out_[out_port].peer = peer;
+    out_[out_port].peer_port = peer_in_port;
+    peer->connectInput(peer_in_port, this, out_port);
+}
+
+void
+Router::connectEjection(unsigned out_port, NetworkInterface *ni)
+{
+    ANOC_ASSERT(out_port < n_ports_, "output port out of range");
+    out_[out_port].ni = ni;
+}
+
+void
+Router::connectInput(unsigned in_port, FlitSource *up, unsigned up_port)
+{
+    ANOC_ASSERT(in_port < n_ports_, "input port out of range");
+    in_[in_port].up = up;
+    in_[in_port].up_port = up_port;
+}
+
+void
+Router::setLinkInfo(unsigned out_port, unsigned dim, bool wrap)
+{
+    ANOC_ASSERT(out_port < n_ports_, "output port out of range");
+    ANOC_ASSERT(cfg_.vcs % 2 == 0,
+                "dateline VC classes need an even VC count");
+    OutPort &op = out_[out_port];
+    op.dim = dim;
+    op.wrap = wrap;
+    class_aware_ = true;
+    if (op.peer) {
+        op.peer->in_[op.peer_port].dim = dim;
+        op.peer->class_aware_ = true;
+    }
+}
+
+int
+Router::allowedVcClass(const InPort &in, unsigned in_vc,
+                       const OutPort &out) const
+{
+    if (!class_aware_ || out.isEjection())
+        return -1; // unrestricted
+    unsigned half = cfg_.vcs / 2;
+    unsigned in_class = in_vc / half;
+    if (out.wrap)
+        return 1; // crossing the dateline
+    if (out.dim != in.dim)
+        return 0; // entering a new ring (or injected locally)
+    return static_cast<int>(in_class);
+}
+
+unsigned
+Router::selectRoute(const Packet &pkt) const
+{
+    std::vector<unsigned> cands = route_(id_, pkt);
+    ANOC_ASSERT(!cands.empty(), "router ", id_, " has no route for packet");
+    if (cands.size() == 1)
+        return cands[0];
+    // Congestion-aware selection: the candidate whose downstream
+    // buffers have the most free credits wins; ties keep preference
+    // order.
+    unsigned best = cands[0];
+    unsigned best_credits = 0;
+    bool first = true;
+    for (unsigned c : cands) {
+        const OutPort &op = out_[c];
+        unsigned credits = 0;
+        for (unsigned v : op.credits)
+            credits += v;
+        if (first || credits > best_credits) {
+            best = c;
+            best_credits = credits;
+            first = false;
+        }
+    }
+    return best;
+}
+
+void
+Router::acceptFlit(unsigned in_port, unsigned vc, Flit f)
+{
+    ANOC_ASSERT(in_port < n_ports_ && vc < cfg_.vcs,
+                "acceptFlit port/vc out of range");
+    auto &q = in_[in_port].vcs[vc].q;
+    ANOC_ASSERT(q.size() < cfg_.vc_depth,
+                "buffer overflow at router ", id_, " port ", in_port,
+                " vc ", vc, " — credit protocol violated");
+    q.push_back(std::move(f));
+    ++buffer_writes_;
+}
+
+void
+Router::creditReturn(unsigned out_port, unsigned vc)
+{
+    ANOC_ASSERT(out_port < n_ports_ && vc < cfg_.vcs,
+                "creditReturn port/vc out of range");
+    auto &c = out_[out_port].credits[vc];
+    ANOC_ASSERT(c < cfg_.vc_depth, "credit overflow at router ", id_,
+                " port ", out_port, " vc ", vc);
+    ++c;
+}
+
+void
+Router::evaluate(Cycle now)
+{
+    for (auto &g : grants_)
+        g = Grant{};
+
+    const Cycle pipe = cfg_.router_stages - 1;
+
+    for (unsigned ii = 0; ii < n_ports_; ++ii) {
+        unsigned ip = (rr_in_ + ii) % n_ports_;
+        InPort &port = in_[ip];
+        for (unsigned vv = 0; vv < cfg_.vcs; ++vv) {
+            unsigned vc = (rr_vc_[ip] + vv) % cfg_.vcs;
+            VcBuf &buf = port.vcs[vc];
+            if (buf.q.empty())
+                continue;
+            Flit &f = buf.q.front();
+            if (f.arrival + pipe > now)
+                continue; // still in BW/RC/VA stages
+
+            if (f.isHead() && buf.route < 0)
+                buf.route = static_cast<int>(selectRoute(*f.pkt));
+            unsigned op_idx = static_cast<unsigned>(buf.route);
+            OutPort &op = out_[op_idx];
+            ANOC_ASSERT(op.connected(), "route to unconnected port ", op_idx,
+                        " at router ", id_);
+            if (grants_[op_idx].valid())
+                continue; // output already claimed this cycle
+
+            if (op.isEjection()) {
+                grants_[op_idx] = Grant{static_cast<int>(ip),
+                                        static_cast<int>(vc)};
+                break; // one flit per input port per cycle
+            }
+
+            if (f.isHead() && buf.out_vc < 0) {
+                // VC allocation: claim a free downstream VC within the
+                // class the dateline discipline permits.
+                unsigned lo = 0, hi = cfg_.vcs;
+                int cls = allowedVcClass(port, vc, op);
+                if (cls >= 0) {
+                    unsigned half = cfg_.vcs / 2;
+                    lo = static_cast<unsigned>(cls) * half;
+                    hi = lo + half;
+                }
+                for (unsigned dvc = lo; dvc < hi; ++dvc) {
+                    if (!op.vc_busy[dvc] && op.credits[dvc] > 0) {
+                        op.vc_busy[dvc] = true;
+                        buf.out_vc = static_cast<int>(dvc);
+                        ++vc_allocs_;
+                        break;
+                    }
+                }
+                if (buf.out_vc < 0)
+                    continue; // no VC available; try another VC/input
+            }
+            if (buf.out_vc >= 0 &&
+                op.credits[static_cast<unsigned>(buf.out_vc)] > 0) {
+                grants_[op_idx] = Grant{static_cast<int>(ip),
+                                        static_cast<int>(vc)};
+                break;
+            }
+        }
+    }
+}
+
+void
+Router::advance(Cycle now)
+{
+    for (unsigned op_idx = 0; op_idx < n_ports_; ++op_idx) {
+        Grant &g = grants_[op_idx];
+        if (!g.valid())
+            continue;
+        InPort &port = in_[static_cast<unsigned>(g.in_port)];
+        VcBuf &buf = port.vcs[static_cast<unsigned>(g.vc)];
+        ANOC_ASSERT(!buf.q.empty(), "granted VC drained unexpectedly");
+        Flit f = buf.q.front();
+        buf.q.pop_front();
+        ++flits_forwarded_;
+
+        // Return the freed buffer slot upstream.
+        if (port.up)
+            port.up->creditReturn(port.up_port, static_cast<unsigned>(g.vc));
+
+        OutPort &op = out_[op_idx];
+        bool tail = f.is_tail;
+        if (op.isEjection()) {
+            op.ni->acceptEjectedFlit(f, now);
+        } else {
+            unsigned dvc = static_cast<unsigned>(buf.out_vc);
+            ANOC_ASSERT(op.credits[dvc] > 0, "forwarding without credit");
+            --op.credits[dvc];
+            f.arrival = now + 1;
+            op.peer->acceptFlit(op.peer_port, dvc, f);
+            ++link_traversals_;
+            if (tail)
+                op.vc_busy[dvc] = false;
+        }
+        if (tail) {
+            buf.route = -1;
+            buf.out_vc = -1;
+        }
+        rr_vc_[static_cast<unsigned>(g.in_port)] =
+            (static_cast<unsigned>(g.vc) + 1) % cfg_.vcs;
+    }
+    rr_in_ = (rr_in_ + 1) % n_ports_;
+}
+
+std::size_t
+Router::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &ip : in_)
+        for (const auto &vb : ip.vcs)
+            n += vb.q.size();
+    return n;
+}
+
+} // namespace approxnoc

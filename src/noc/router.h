@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Input-buffered virtual-channel wormhole router with a three-stage
+ * pipeline (paper Table 1). Flits become eligible for switch traversal
+ * (router_stages - 1) cycles after buffer write, modelling BW/RC and
+ * VA/SA; ST+LT moves them to the next hop in one cycle, so the
+ * zero-load per-hop latency is router_stages cycles.
+ *
+ * Credit-based flow control: the upstream side of every link owns the
+ * credit counters and the VC allocation state of the downstream input
+ * buffer, which is the conventional arrangement.
+ */
+#ifndef APPROXNOC_NOC_ROUTER_H
+#define APPROXNOC_NOC_ROUTER_H
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "noc/noc_config.h"
+#include "noc/packet.h"
+#include "sim/clocked.h"
+
+namespace approxnoc {
+
+class NetworkInterface;
+
+/** Anything that owns an output link and its credits (router or NI). */
+class FlitSource
+{
+  public:
+    virtual ~FlitSource() = default;
+    /** Downstream returns one credit for (our output port, vc). */
+    virtual void creditReturn(unsigned out_port, unsigned vc) = 0;
+};
+
+/** The router proper. */
+class Router : public Clocked, public FlitSource
+{
+  public:
+    /**
+     * Computes the allowed output ports for a packet at this router,
+     * in preference order. Deterministic algorithms return one entry;
+     * partially adaptive ones return several and the router picks the
+     * least congested (most downstream credits) at route-compute time.
+     */
+    using RouteFn =
+        std::function<std::vector<unsigned>(RouterId, const Packet &)>;
+
+    Router(RouterId id, const NocConfig &cfg, RouteFn route);
+
+    RouterId id() const { return id_; }
+    unsigned numPorts() const { return n_ports_; }
+
+    /** @name Wiring (done once by the Network builder) */
+    ///@{
+    /** Connect output @p out_port to @p peer's input @p peer_in_port. */
+    void connectOutput(unsigned out_port, Router *peer, unsigned peer_in_port);
+    /** Make output @p out_port an ejection port into @p ni. */
+    void connectEjection(unsigned out_port, NetworkInterface *ni);
+    /** Record who feeds input @p in_port (for credit returns). */
+    void connectInput(unsigned in_port, FlitSource *up, unsigned up_port);
+
+    /**
+     * Tag a link for dateline VC management (torus): @p out_port
+     * travels dimension @p dim (0 = X, 1 = Y) and @p wrap marks the
+     * wrap-around link; the matching downstream input is tagged too.
+     * Enables class-aware VC allocation on this router.
+     */
+    void setLinkInfo(unsigned out_port, unsigned dim, bool wrap);
+    ///@}
+
+    /** @name Link interface (called by the upstream's advance phase) */
+    ///@{
+    /** Deposit a flit into input buffer (in_port, vc). Must have space. */
+    void acceptFlit(unsigned in_port, unsigned vc, Flit f);
+    void creditReturn(unsigned out_port, unsigned vc) override;
+    ///@}
+
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    /** Total buffered flits (drain detection). */
+    std::size_t occupancy() const;
+
+    /** @name Activity counters (power model / watchdog) */
+    ///@{
+    std::uint64_t flitsForwarded() const { return flits_forwarded_; }
+    std::uint64_t bufferWrites() const { return buffer_writes_; }
+    std::uint64_t vcAllocations() const { return vc_allocs_; }
+    std::uint64_t linkTraversals() const { return link_traversals_; }
+    ///@}
+
+  private:
+    struct VcBuf {
+        std::deque<Flit> q;
+        int route = -1;  ///< output port of the packet at the head
+        int out_vc = -1; ///< downstream VC allocated to that packet
+    };
+    /** Dimension tag for local/injection ports. */
+    static constexpr unsigned kDimLocal = 0xFF;
+
+    struct InPort {
+        std::vector<VcBuf> vcs;
+        FlitSource *up = nullptr;
+        unsigned up_port = 0;
+        unsigned dim = kDimLocal;
+    };
+    struct OutPort {
+        Router *peer = nullptr;
+        unsigned peer_port = 0;
+        NetworkInterface *ni = nullptr;
+        std::vector<bool> vc_busy;
+        std::vector<unsigned> credits;
+        unsigned dim = kDimLocal;
+        bool wrap = false;
+
+        bool isEjection() const { return ni != nullptr; }
+        bool connected() const { return peer != nullptr || ni != nullptr; }
+    };
+    struct Grant {
+        int in_port = -1;
+        int vc = -1;
+        bool valid() const { return in_port >= 0; }
+    };
+
+    RouterId id_;
+    NocConfig cfg_;
+    RouteFn route_;
+    unsigned n_ports_;
+
+    std::vector<InPort> in_;
+    std::vector<OutPort> out_;
+    std::vector<Grant> grants_; ///< per output port, recomputed each cycle
+
+    /** Downstream VC class a flit may allocate (dateline discipline). */
+    int allowedVcClass(const InPort &in, unsigned in_vc,
+                       const OutPort &out) const;
+
+    /** Resolve the route candidates to one output port (adaptive). */
+    unsigned selectRoute(const Packet &pkt) const;
+
+    unsigned rr_in_ = 0; ///< round-robin pointer over input ports
+    std::vector<unsigned> rr_vc_; ///< per-input round-robin over VCs
+    bool class_aware_ = false; ///< any link tagged => dateline VCs on
+
+    std::uint64_t flits_forwarded_ = 0;
+    std::uint64_t buffer_writes_ = 0;
+    std::uint64_t vc_allocs_ = 0;
+    std::uint64_t link_traversals_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_NOC_ROUTER_H

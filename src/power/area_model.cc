@@ -1,0 +1,59 @@
+#include "power/area_model.h"
+
+namespace approxnoc {
+
+namespace {
+
+/** Bits kept per stored original pattern: the paper stores only the
+ * bits the approximate pattern masked out, plus tag overhead (~20). */
+constexpr double kOriginalBits = 20.0;
+
+} // namespace
+
+double
+encoder_area_mm2(Scheme scheme, const DictionaryConfig &dict,
+                 unsigned n_nodes, AreaParams p)
+{
+    const double entries = static_cast<double>(dict.pmt_entries);
+    const double dsts = static_cast<double>(n_nodes > 0 ? n_nodes - 1 : 0);
+    const double index_bits = static_cast<double>(dict.indexBits());
+    double um2 = 0.0;
+
+    switch (scheme) {
+      case Scheme::Baseline:
+        return 0.0;
+
+      case Scheme::FpComp:
+        // Static pattern-match logic plus arbitration.
+        um2 = p.fpc_logic_um2 + p.arbitration_um2;
+        break;
+
+      case Scheme::FpVaxx:
+        // FPC logic, 8 parallel APCL units (Sec. 4.3), the masked
+        // pattern CAM and arbitration.
+        um2 = p.fpc_logic_um2 + 8.0 * p.avcl_unit_um2 +
+              entries * 32.0 * p.cam_bit_um2 + p.arbitration_um2;
+        break;
+
+      case Scheme::DiComp:
+        // Exact-match CAM + per-destination index vectors (Fig. 7a)
+        // + frequency counters.
+        um2 = entries * 32.0 * p.cam_bit_um2 +
+              entries * dsts * index_bits * p.sram_bit_um2 +
+              entries * 8.0 * p.sram_bit_um2 + p.arbitration_um2;
+        break;
+
+      case Scheme::DiVaxx:
+        // TCAM of approximate patterns + per-destination (index,
+        // original) store (Fig. 8) + one APCL + arbitration.
+        um2 = entries * 32.0 * p.tcam_bit_um2 +
+              entries * dsts * (index_bits + kOriginalBits) *
+                  p.sram_bit_um2 +
+              entries * 8.0 * p.sram_bit_um2 + p.avcl_unit_um2 +
+              p.arbitration_um2;
+        break;
+    }
+    return um2 / 1e6;
+}
+
+} // namespace approxnoc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Analytical 45 nm area model for the APPROX-NoC encoder structures
+ * (paper Sec. 5.5: DI-VAXX 0.0037 mm^2 per NI, FP-VAXX 0.0029 mm^2).
+ * Cell areas follow typical 45 nm ratios: a TCAM cell is ~2.7x an SRAM
+ * cell and a binary CAM cell ~1.8x; matching/priority and AVCL logic
+ * are charged as gate-equivalent blocks.
+ */
+#ifndef APPROXNOC_POWER_AREA_MODEL_H
+#define APPROXNOC_POWER_AREA_MODEL_H
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "compression/dictionary.h"
+
+namespace approxnoc {
+
+/** Cell and logic areas in square micrometres (45 nm). */
+struct AreaParams {
+    double sram_bit_um2 = 0.50;
+    double cam_bit_um2 = 0.90;
+    double tcam_bit_um2 = 1.35;
+    double avcl_unit_um2 = 220.0;   ///< shift/mask datapath + control
+    double fpc_logic_um2 = 380.0;   ///< static pattern match + encode
+    double arbitration_um2 = 150.0; ///< compress arbitration / priority
+};
+
+/** Per-NI encoder area for @p scheme in mm^2. */
+double encoder_area_mm2(Scheme scheme, const DictionaryConfig &dict,
+                        unsigned n_nodes, AreaParams p = {});
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_POWER_AREA_MODEL_H

@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace approxnoc {
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void
+EventQueue::runUntil(Cycle now)
+{
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // priority_queue::top() is const; the event is moved out via a
+        // const_cast-free copy of the callback before popping.
+        Event ev = heap_.top();
+        heap_.pop();
+        ev.cb(now);
+    }
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return heap_.empty() ? kNeverCycle : heap_.top().when;
+}
+
+} // namespace approxnoc

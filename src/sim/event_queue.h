@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A small discrete event queue for delayed callbacks (dictionary update
+ * notifications, stat sampling). Runs alongside the per-cycle loop:
+ * the Simulator fires all events scheduled at the current cycle before
+ * stepping the clocked components.
+ */
+#ifndef APPROXNOC_SIM_EVENT_QUEUE_H
+#define APPROXNOC_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace approxnoc {
+
+/** Time-ordered queue of callbacks. Ties fire in scheduling order. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Cycle)>;
+
+    /** Schedule @p cb to run at absolute cycle @p when. */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb to run @p delay cycles after @p now. */
+    void
+    scheduleAfter(Cycle now, Cycle delay, Callback cb)
+    {
+        schedule(now + delay, std::move(cb));
+    }
+
+    /** Fire every event scheduled at or before @p now. */
+    void runUntil(Cycle now);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Cycle of the next pending event; kNeverCycle when empty. */
+    Cycle nextEventCycle() const;
+
+  private:
+    struct Event {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_SIM_EVENT_QUEUE_H

@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+namespace approxnoc {
+
+void
+Simulator::step()
+{
+    events_.runUntil(now_);
+    for (Clocked *c : components_)
+        c->evaluate(now_);
+    for (Clocked *c : components_)
+        c->advance(now_);
+    ++now_;
+}
+
+void
+Simulator::run(Cycle cycles)
+{
+    Cycle end = now_ + cycles;
+    while (now_ < end)
+        step();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+{
+    Cycle end = now_ + max_cycles;
+    while (now_ < end) {
+        if (done())
+            return true;
+        step();
+    }
+    return done();
+}
+
+} // namespace approxnoc

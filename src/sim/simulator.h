@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The cycle-driven simulation loop: fires due events, then runs the
+ * two-phase (evaluate/advance) update over all registered components.
+ */
+#ifndef APPROXNOC_SIM_SIMULATOR_H
+#define APPROXNOC_SIM_SIMULATOR_H
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/clocked.h"
+#include "sim/event_queue.h"
+
+namespace approxnoc {
+
+/**
+ * Owns simulated time. Components are registered by raw pointer; the
+ * caller keeps ownership (components typically live inside a Network
+ * or testbench object that outlives the Simulator loop).
+ */
+class Simulator
+{
+  public:
+    /** Register a component to be stepped every cycle. */
+    void add(Clocked *c) { components_.push_back(c); }
+
+    /** The shared event queue (delayed callbacks). */
+    EventQueue &events() { return events_; }
+
+    Cycle now() const { return now_; }
+
+    /** Run exactly @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until @p done returns true or @p max_cycles elapse.
+     * @return true when @p done fired, false on cycle-limit timeout.
+     */
+    bool runUntil(const std::function<bool()> &done, Cycle max_cycles);
+
+    /** Advance a single cycle. */
+    void step();
+
+  private:
+    Cycle now_ = 0;
+    std::vector<Clocked *> components_;
+    EventQueue events_;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_SIM_SIMULATOR_H

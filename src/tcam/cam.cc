@@ -1,0 +1,119 @@
+#include "tcam/cam.h"
+
+#include <limits>
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+Cam::Cam(std::size_t n_entries, ReplacementPolicy policy)
+    : entries_(n_entries), policy_(policy)
+{
+    ANOC_ASSERT(n_entries > 0, "CAM must have at least one entry");
+}
+
+std::optional<std::size_t>
+Cam::search(Word key)
+{
+    ++searches_;
+    ++tick_;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        Entry &e = entries_[i];
+        if (e.valid && e.key == key) {
+            e.last_use = tick_;
+            ++e.freq;
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+Cam::peek(Word key) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (e.valid && e.key == key)
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+Cam::pickVictim() const
+{
+    // Prefer an invalid slot.
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (!entries_[i].valid)
+            return i;
+
+    std::size_t victim = 0;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        std::uint64_t score = policy_ == ReplacementPolicy::Lru
+                                  ? entries_[i].last_use
+                                  : entries_[i].freq;
+        if (score < best) {
+            best = score;
+            victim = i;
+        }
+    }
+    return victim;
+}
+
+std::size_t
+Cam::victimFor(Word key) const
+{
+    if (auto hit = peek(key))
+        return *hit;
+    return pickVictim();
+}
+
+std::size_t
+Cam::insert(Word key)
+{
+    ++writes_;
+    ++tick_;
+    std::size_t slot = victimFor(key);
+    Entry &e = entries_[slot];
+    bool rehit = e.valid && e.key == key;
+    e.valid = true;
+    e.key = key;
+    e.last_use = tick_;
+    e.freq = rehit ? e.freq + 1 : 1;
+    return slot;
+}
+
+void
+Cam::erase(std::size_t slot)
+{
+    ANOC_ASSERT(slot < entries_.size(), "CAM slot out of range");
+    entries_[slot] = Entry{};
+}
+
+void
+Cam::clear()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+}
+
+void
+Cam::touch(std::size_t slot)
+{
+    ANOC_ASSERT(slot < entries_.size(), "CAM slot out of range");
+    ++tick_;
+    entries_[slot].last_use = tick_;
+    ++entries_[slot].freq;
+}
+
+std::size_t
+Cam::validCount() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace approxnoc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Behavioural model of a content-addressable memory: fixed entry count,
+ * exact-match search, LRU/LFU replacement, activity counters for the
+ * power model. Decoder PMTs and the FP-COMP pattern table use this.
+ */
+#ifndef APPROXNOC_TCAM_CAM_H
+#define APPROXNOC_TCAM_CAM_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace approxnoc {
+
+/** Victim selection policy for a full CAM/TCAM. */
+enum class ReplacementPolicy : std::uint8_t {
+    Lru, ///< least recently used
+    Lfu, ///< least frequently used (paper's frequency counters)
+};
+
+/**
+ * Exact-match CAM over 32-bit keys. Slots are stable: payloads are kept
+ * by the caller in arrays parallel to the slot index.
+ */
+class Cam
+{
+  public:
+    Cam(std::size_t n_entries, ReplacementPolicy policy = ReplacementPolicy::Lfu);
+
+    std::size_t capacity() const { return entries_.size(); }
+
+    /**
+     * Search for @p key. Counts one search access.
+     * @return matching slot, or nullopt on miss.
+     */
+    std::optional<std::size_t> search(Word key);
+
+    /** Search without touching recency/frequency or counters. */
+    std::optional<std::size_t> peek(Word key) const;
+
+    /**
+     * Insert @p key, reusing an existing matching slot or replacing a
+     * victim. Counts one write access.
+     * @return the slot now holding @p key.
+     */
+    std::size_t insert(Word key);
+
+    /** Pick the slot insert() would (re)use for @p key without writing. */
+    std::size_t victimFor(Word key) const;
+
+    /** Invalidate one slot. */
+    void erase(std::size_t slot);
+    /** Invalidate everything. */
+    void clear();
+
+    bool valid(std::size_t slot) const { return entries_[slot].valid; }
+    Word key(std::size_t slot) const { return entries_[slot].key; }
+    std::uint64_t frequency(std::size_t slot) const { return entries_[slot].freq; }
+
+    /** Bump the frequency counter of a slot (dictionary training). */
+    void touch(std::size_t slot);
+
+    std::size_t validCount() const;
+
+    /** Activity counters for the energy model. */
+    std::uint64_t searches() const { return searches_; }
+    std::uint64_t writes() const { return writes_; }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        Word key = 0;
+        std::uint64_t last_use = 0;
+        std::uint64_t freq = 0;
+    };
+
+    std::size_t pickVictim() const;
+
+    std::vector<Entry> entries_;
+    ReplacementPolicy policy_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t searches_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_TCAM_CAM_H

@@ -1,0 +1,156 @@
+#include "tcam/tcam.h"
+
+#include <limits>
+#include <string>
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+std::string
+TernaryPattern::toString(unsigned width) const
+{
+    std::string s;
+    for (unsigned b = width; b-- > 0;) {
+        Word bit = 1u << b;
+        if (mask & bit)
+            s += 'x';
+        else
+            s += (value & bit) ? '1' : '0';
+    }
+    return s;
+}
+
+Tcam::Tcam(std::size_t n_entries, ReplacementPolicy policy)
+    : entries_(n_entries), valids_(n_entries, false),
+      last_use_(n_entries, 0), freq_(n_entries, 0), policy_(policy)
+{
+    ANOC_ASSERT(n_entries > 0, "TCAM must have at least one entry");
+}
+
+std::optional<std::size_t>
+Tcam::search(Word key)
+{
+    ++searches_;
+    ++tick_;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (valids_[i] && entries_[i].matches(key)) {
+            last_use_[i] = tick_;
+            ++freq_[i];
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::size_t>
+Tcam::searchAll(Word key) const
+{
+    std::vector<std::size_t> hits;
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (valids_[i] && entries_[i].matches(key))
+            hits.push_back(i);
+    return hits;
+}
+
+std::optional<std::size_t>
+Tcam::peek(Word key) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (valids_[i] && entries_[i].matches(key))
+            return i;
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+Tcam::findPattern(const TernaryPattern &p) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (valids_[i] && entries_[i] == p)
+            return i;
+    return std::nullopt;
+}
+
+std::size_t
+Tcam::pickVictim() const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (!valids_[i])
+            return i;
+
+    std::size_t victim = 0;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        std::uint64_t score =
+            policy_ == ReplacementPolicy::Lru ? last_use_[i] : freq_[i];
+        if (score < best) {
+            best = score;
+            victim = i;
+        }
+    }
+    return victim;
+}
+
+std::size_t
+Tcam::victimFor(const TernaryPattern &p) const
+{
+    if (auto existing = findPattern(p))
+        return *existing;
+    return pickVictim();
+}
+
+std::size_t
+Tcam::insert(const TernaryPattern &p)
+{
+    ++writes_;
+    ++tick_;
+    std::size_t slot;
+    if (auto existing = findPattern(p)) {
+        slot = *existing;
+        ++freq_[slot];
+    } else {
+        slot = pickVictim();
+        freq_[slot] = 1;
+    }
+    entries_[slot] = p.canonical();
+    valids_[slot] = true;
+    last_use_[slot] = tick_;
+    return slot;
+}
+
+void
+Tcam::erase(std::size_t slot)
+{
+    ANOC_ASSERT(slot < entries_.size(), "TCAM slot out of range");
+    valids_[slot] = false;
+    entries_[slot] = TernaryPattern{};
+    last_use_[slot] = 0;
+    freq_[slot] = 0;
+}
+
+void
+Tcam::clear()
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        erase(i);
+}
+
+void
+Tcam::touch(std::size_t slot)
+{
+    ANOC_ASSERT(slot < entries_.size(), "TCAM slot out of range");
+    ++tick_;
+    last_use_[slot] = tick_;
+    ++freq_[slot];
+}
+
+std::size_t
+Tcam::validCount() const
+{
+    std::size_t n = 0;
+    for (bool v : valids_)
+        n += v ? 1 : 0;
+    return n;
+}
+
+} // namespace approxnoc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Behavioural model of a ternary CAM: each entry stores a value and a
+ * don't-care mask; a search key matches when it agrees with the value
+ * on every *care* bit. The DI-VAXX encoder PMT stores approximate
+ * patterns here (paper Sec. 4.2.1, after the Agrawal & Sherwood TCAM
+ * model [1]).
+ */
+#ifndef APPROXNOC_TCAM_TCAM_H
+#define APPROXNOC_TCAM_TCAM_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+#include "tcam/cam.h"
+
+namespace approxnoc {
+
+/** A ternary pattern: @c mask bits set are "x" (don't care). */
+struct TernaryPattern {
+    Word value = 0;
+    Word mask = 0;
+
+    /** True when @p key matches this pattern on all care bits. */
+    bool
+    matches(Word key) const
+    {
+        return ((key ^ value) & ~mask) == 0;
+    }
+
+    /** Canonical form: value bits under the mask forced to zero. */
+    TernaryPattern
+    canonical() const
+    {
+        return TernaryPattern{static_cast<Word>(value & ~mask), mask};
+    }
+
+    bool
+    operator==(const TernaryPattern &o) const
+    {
+        return (value & ~mask) == (o.value & ~o.mask) && mask == o.mask;
+    }
+
+    /** Render as a bit string with 'x' for don't-care bits. */
+    std::string toString(unsigned width = 32) const;
+};
+
+/**
+ * Fixed-size TCAM with LRU/LFU replacement and activity counters.
+ * Slot indices are stable so callers can keep parallel payload arrays.
+ */
+class Tcam
+{
+  public:
+    Tcam(std::size_t n_entries, ReplacementPolicy policy = ReplacementPolicy::Lfu);
+
+    std::size_t capacity() const { return entries_.size(); }
+
+    /**
+     * Search for the highest-priority (lowest-index) entry matching
+     * @p key. Counts one search.
+     */
+    std::optional<std::size_t> search(Word key);
+
+    /** All matching slots, lowest index first (multi-match diagnostics). */
+    std::vector<std::size_t> searchAll(Word key) const;
+
+    /** Search without side effects. */
+    std::optional<std::size_t> peek(Word key) const;
+
+    /** Find a slot storing exactly this ternary pattern. */
+    std::optional<std::size_t> findPattern(const TernaryPattern &p) const;
+
+    /**
+     * Insert @p p, reusing a slot holding the identical pattern or
+     * replacing a victim. Counts one write.
+     */
+    std::size_t insert(const TernaryPattern &p);
+
+    /** Slot insert() would (re)use for @p p, without writing. */
+    std::size_t victimFor(const TernaryPattern &p) const;
+
+    void erase(std::size_t slot);
+    void clear();
+
+    bool valid(std::size_t slot) const { return valids_[slot]; }
+    const TernaryPattern &pattern(std::size_t slot) const { return entries_[slot]; }
+    void touch(std::size_t slot);
+
+    std::size_t validCount() const;
+
+    std::uint64_t searches() const { return searches_; }
+    std::uint64_t writes() const { return writes_; }
+
+  private:
+    std::size_t pickVictim() const;
+
+    std::vector<TernaryPattern> entries_;
+    std::vector<bool> valids_;
+    std::vector<std::uint64_t> last_use_;
+    std::vector<std::uint64_t> freq_;
+    ReplacementPolicy policy_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t searches_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_TCAM_TCAM_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Closed-loop request-reply traffic: every core node keeps a bounded
+ * window of outstanding requests to home nodes; each request (1-flit
+ * control packet) triggers a data-block reply from the home. This is
+ * the memory-system-shaped load the trace replays approximate, but
+ * self-throttling — useful for end-to-end latency studies where open
+ * loops would diverge past saturation.
+ */
+#ifndef APPROXNOC_TRAFFIC_CLOSED_LOOP_H
+#define APPROXNOC_TRAFFIC_CLOSED_LOOP_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "noc/network.h"
+#include "sim/clocked.h"
+#include "traffic/data_provider.h"
+
+namespace approxnoc {
+
+/** Closed-loop generator parameters. */
+struct ClosedLoopConfig {
+    /** Nodes with even ids issue requests; odd ids serve them
+     * (matching the cache model's core/home interleave). */
+    unsigned window = 4;    ///< max outstanding requests per core
+    Cycle think_time = 4;   ///< cycles between a reply and the next request
+    double approx_ratio = 0.75;
+    std::uint64_t seed = 1234;
+};
+
+/**
+ * The generator. Installs itself as the network's delivery callback
+ * (don't combine with another user callback).
+ */
+class ClosedLoopTraffic : public Clocked
+{
+  public:
+    ClosedLoopTraffic(Network &net, const ClosedLoopConfig &cfg,
+                      DataProvider &provider);
+
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    /** Stop issuing new requests (outstanding ones still complete). */
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Round-trip latency of completed request/reply pairs. */
+    const RunningStat &roundTrip() const { return round_trip_; }
+    std::uint64_t requestsIssued() const { return requests_; }
+    std::uint64_t repliesReceived() const { return replies_; }
+
+    /** True when no request is outstanding. */
+    bool quiesced() const;
+
+  private:
+    void onDelivery(const PacketPtr &pkt, Cycle now);
+
+    struct CoreState {
+        unsigned outstanding = 0;
+        Cycle next_issue = 0;
+    };
+
+    Network &net_;
+    ClosedLoopConfig cfg_;
+    DataProvider &provider_;
+    Rng rng_;
+    bool enabled_ = true;
+    std::vector<NodeId> cores_;
+    std::vector<NodeId> homes_;
+    std::vector<CoreState> state_; ///< parallel to cores_
+    /** request issue time by request packet id (reply carries it back). */
+    std::map<std::uint64_t, std::pair<NodeId, Cycle>> pending_;
+    RunningStat round_trip_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t replies_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_TRAFFIC_CLOSED_LOOP_H

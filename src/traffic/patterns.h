@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Synthetic destination patterns (paper Fig. 12 uses Uniform Random
+ * and Transpose; the usual NoC suspects are included for completeness).
+ */
+#ifndef APPROXNOC_TRAFFIC_PATTERNS_H
+#define APPROXNOC_TRAFFIC_PATTERNS_H
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace approxnoc {
+
+/** Destination selection policy for synthetic traffic. */
+enum class TrafficPattern : std::uint8_t {
+    UniformRandom, ///< any other node, uniformly
+    Transpose,     ///< node (x,y) -> (y,x) on the node grid
+    BitComplement, ///< node i -> ~i
+    Hotspot,       ///< a fraction of traffic to one node, rest uniform
+    Neighbor,      ///< node i -> i+1 (wraps)
+};
+
+TrafficPattern pattern_from_string(const std::string &name);
+std::string to_string(TrafficPattern p);
+
+/**
+ * Pick a destination for @p src under pattern @p p over @p n_nodes
+ * endpoints. Deterministic patterns whose mapping would be the source
+ * itself fall back to uniform-random reselection.
+ */
+NodeId pick_destination(TrafficPattern p, NodeId src, unsigned n_nodes,
+                        Rng &rng);
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_TRAFFIC_PATTERNS_H

@@ -1,0 +1,70 @@
+#include "traffic/replay.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+namespace {
+/** Deterministic per-record hash for the approximable-ratio draw. */
+std::uint32_t
+mix(std::uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x7FEB352Du;
+    x ^= x >> 15;
+    x *= 0x846CA68Bu;
+    x ^= x >> 16;
+    return x;
+}
+} // namespace
+
+TraceReplay::TraceReplay(Network &net, const CommTrace &trace,
+                         double time_scale, double approx_ratio)
+    : Clocked("trace-replay"), net_(net), trace_(trace),
+      time_scale_(time_scale), approx_ratio_(approx_ratio)
+{
+    ANOC_ASSERT(time_scale > 0.0, "time scale must be positive");
+}
+
+void
+TraceReplay::evaluate(Cycle)
+{
+}
+
+void
+TraceReplay::advance(Cycle now)
+{
+    unsigned n_nodes = net_.config().nodes();
+    while (cursor_ < trace_.size()) {
+        const TraceRecord &r = trace_.records()[cursor_];
+        Cycle when = static_cast<Cycle>(
+            std::llround(static_cast<double>(r.t) * time_scale_));
+        if (when > now)
+            break;
+
+        NodeId src = r.src % n_nodes;
+        NodeId dst = r.dst % n_nodes;
+        if (src != dst) {
+            PacketPtr p;
+            if (r.cls == PacketClass::Data &&
+                r.block != TraceRecord::kNoBlock) {
+                DataBlock b = trace_.block(r.block);
+                if (b.approximable()) {
+                    bool keep = (mix(static_cast<std::uint32_t>(cursor_)) %
+                                 10000) < approx_ratio_ * 10000.0;
+                    b.setApproximable(keep);
+                }
+                p = net_.makeDataPacket(src, dst, std::move(b));
+            } else {
+                p = net_.makeControlPacket(src, dst);
+            }
+            net_.inject(p, now);
+            ++injected_;
+        }
+        ++cursor_;
+    }
+}
+
+} // namespace approxnoc

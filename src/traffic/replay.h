@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trace replay: injects a CommTrace into a Network, optionally scaling
+ * timestamps (to vary load density) and overriding the approximable
+ * packet ratio (paper Sec. 5.3.2's knob).
+ */
+#ifndef APPROXNOC_TRAFFIC_REPLAY_H
+#define APPROXNOC_TRAFFIC_REPLAY_H
+
+#include "noc/network.h"
+#include "sim/clocked.h"
+#include "traffic/trace.h"
+
+namespace approxnoc {
+
+/** Replays a trace through a network. */
+class TraceReplay : public Clocked
+{
+  public:
+    /**
+     * @param net the target network.
+     * @param trace the trace to replay (borrowed; outlive the replay).
+     * @param time_scale multiply record timestamps by this (> 0; < 1
+     *        densifies traffic).
+     * @param approx_ratio fraction of annotated-approximable data
+     *        packets that keep the annotation (default 0.75 per Table 1).
+     */
+    TraceReplay(Network &net, const CommTrace &trace, double time_scale = 1.0,
+                double approx_ratio = 0.75);
+
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    /** True when every record has been injected. */
+    bool done() const { return cursor_ >= trace_.size(); }
+
+    std::uint64_t injected() const { return injected_; }
+
+  private:
+    Network &net_;
+    const CommTrace &trace_;
+    double time_scale_;
+    double approx_ratio_;
+    std::size_t cursor_ = 0;
+    std::uint64_t injected_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_TRAFFIC_REPLAY_H

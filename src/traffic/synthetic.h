@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Open-loop synthetic traffic for the throughput studies (paper
+ * Fig. 12): per-node Bernoulli packet generation at an offered load in
+ * flits/cycle/node (counted in *uncompressed* flits, so all schemes see
+ * the same offered work), a configurable data:control packet mix and a
+ * DataProvider for payloads.
+ */
+#ifndef APPROXNOC_TRAFFIC_SYNTHETIC_H
+#define APPROXNOC_TRAFFIC_SYNTHETIC_H
+
+#include <memory>
+
+#include "common/rng.h"
+#include "noc/network.h"
+#include "sim/clocked.h"
+#include "traffic/data_provider.h"
+#include "traffic/patterns.h"
+
+namespace approxnoc {
+
+/** Synthetic traffic parameters. */
+struct SyntheticConfig {
+    double injection_rate = 0.1;    ///< offered flits/cycle/node
+    double data_packet_ratio = 0.25; ///< paper Fig. 12: 25:75 data:control
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+    double approx_ratio = 0.75;     ///< approximable data packets
+    std::size_t words_per_block = 16; ///< 64 B blocks
+    std::uint64_t seed = 42;
+};
+
+/** The generator. Register with the Simulator alongside the Network. */
+class SyntheticTraffic : public Clocked
+{
+  public:
+    SyntheticTraffic(Network &net, const SyntheticConfig &cfg,
+                     DataProvider &provider);
+
+    void evaluate(Cycle now) override;
+    void advance(Cycle now) override;
+
+    /** Stop/resume offering new packets (drain phases). */
+    void setEnabled(bool on) { enabled_ = on; }
+
+    std::uint64_t packetsOffered() const { return offered_; }
+
+  private:
+    Network &net_;
+    SyntheticConfig cfg_;
+    DataProvider &provider_;
+    Rng rng_;
+    bool enabled_ = true;
+    double packet_prob_; ///< per-node per-cycle packet probability
+    std::uint64_t offered_ = 0;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_TRAFFIC_SYNTHETIC_H

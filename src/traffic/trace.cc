@@ -1,0 +1,118 @@
+#include "traffic/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace approxnoc {
+
+std::uint32_t
+CommTrace::addBlock(DataBlock b)
+{
+    blocks_.push_back(std::move(b));
+    return static_cast<std::uint32_t>(blocks_.size() - 1);
+}
+
+void
+CommTrace::add(const TraceRecord &r)
+{
+    ANOC_ASSERT(records_.empty() || records_.back().t <= r.t,
+                "trace records must be time-ordered");
+    ANOC_ASSERT(r.block == TraceRecord::kNoBlock || r.block < blocks_.size(),
+                "trace record references unknown block");
+    records_.push_back(r);
+}
+
+Cycle
+CommTrace::duration() const
+{
+    return records_.empty() ? 0 : records_.back().t;
+}
+
+double
+CommTrace::dataPacketRatio() const
+{
+    if (records_.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const auto &r : records_)
+        n += r.cls == PacketClass::Data ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(records_.size());
+}
+
+void
+CommTrace::save(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        ANOC_FATAL("cannot open trace file for writing: ", path);
+    f << "# approxnoc trace v1\n";
+    for (const auto &b : blocks_) {
+        f << "B " << to_string(b.type()) << " " << (b.approximable() ? 1 : 0)
+          << " " << b.size();
+        char buf[16];
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), " %08x", b.word(i));
+            f << buf;
+        }
+        f << "\n";
+    }
+    for (const auto &r : records_) {
+        f << "R " << r.t << " " << r.src << " " << r.dst << " "
+          << (r.cls == PacketClass::Data ? 'D' : 'C') << " ";
+        if (r.block == TraceRecord::kNoBlock)
+            f << "-";
+        else
+            f << r.block;
+        f << "\n";
+    }
+}
+
+CommTrace
+CommTrace::load(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        ANOC_FATAL("cannot open trace file: ", path);
+    CommTrace t;
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        char tag;
+        is >> tag;
+        if (tag == 'B') {
+            std::string type_s;
+            int approx;
+            std::size_t n;
+            is >> type_s >> approx >> n;
+            DataType type = type_s == "int32"     ? DataType::Int32
+                            : type_s == "float32" ? DataType::Float32
+                                                  : DataType::Raw;
+            std::vector<Word> ws(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::string hex;
+                is >> hex;
+                ws[i] = static_cast<Word>(std::stoul(hex, nullptr, 16));
+            }
+            t.addBlock(DataBlock(std::move(ws), type, approx != 0));
+        } else if (tag == 'R') {
+            TraceRecord r;
+            char cls;
+            std::string blk;
+            is >> r.t >> r.src >> r.dst >> cls >> blk;
+            r.cls = cls == 'D' ? PacketClass::Data : PacketClass::Control;
+            r.block = blk == "-" ? TraceRecord::kNoBlock
+                                 : static_cast<std::uint32_t>(std::stoul(blk));
+            t.add(r);
+        } else {
+            ANOC_FATAL("bad trace line: ", line);
+        }
+    }
+    return t;
+}
+
+} // namespace approxnoc

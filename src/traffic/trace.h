@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Communication traces: the timestamped packet stream (with data
+ * payloads) a workload run produces, replayable through the NoC under
+ * any scheme — the paper's trace-driven methodology (Sec. 5.1).
+ */
+#ifndef APPROXNOC_TRAFFIC_TRACE_H
+#define APPROXNOC_TRAFFIC_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/data_block.h"
+#include "common/types.h"
+
+namespace approxnoc {
+
+/** One packet in a trace. */
+struct TraceRecord {
+    Cycle t = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    PacketClass cls = PacketClass::Control;
+    /** Index into CommTrace::blocks(), or kNoBlock for control. */
+    std::uint32_t block = kNoBlock;
+
+    static constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+};
+
+/** A full trace: deduplicated block pool + time-ordered records. */
+class CommTrace
+{
+  public:
+    /** Register a payload block; returns its index. */
+    std::uint32_t addBlock(DataBlock b);
+
+    /** Append a record (timestamps must be non-decreasing). */
+    void add(const TraceRecord &r);
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    const std::vector<DataBlock> &blocks() const { return blocks_; }
+    const DataBlock &block(std::uint32_t i) const { return blocks_[i]; }
+
+    bool empty() const { return records_.empty(); }
+    std::size_t size() const { return records_.size(); }
+
+    /** Last record timestamp (0 when empty). */
+    Cycle duration() const;
+
+    /** Fraction of records that are data packets. */
+    double dataPacketRatio() const;
+
+    /** Serialize to / parse from the textual trace format. */
+    void save(const std::string &path) const;
+    static CommTrace load(const std::string &path);
+
+  private:
+    std::vector<DataBlock> blocks_;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_TRAFFIC_TRACE_H

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Body tracking substitute: a bright 2-blob "body" moves across noisy
+ * synthetic frames; the tracker estimates its position per frame with
+ * a weighted centroid inside a search window around the previous
+ * estimate. Frame pixels are the approximable Float32 region (the
+ * benchmark's likelihood maps are floating point).
+ * renderOutput() rasterizes the tracked model for Fig. 17.
+ */
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "workloads/kernels.h"
+
+namespace approxnoc {
+
+namespace {
+constexpr unsigned kW = 96, kH = 96, kFrames = 8;
+constexpr int kWindow = 10;
+} // namespace
+
+unsigned
+BodytrackWorkload::imageWidth() const
+{
+    return kW;
+}
+
+unsigned
+BodytrackWorkload::imageHeight() const
+{
+    return kH;
+}
+
+unsigned
+BodytrackWorkload::frames() const
+{
+    return kFrames;
+}
+
+void
+BodytrackWorkload::truth(unsigned f, double &x, double &y) const
+{
+    // The body sweeps diagonally with a gentle sine sway.
+    double t = static_cast<double>(f) / (kFrames - 1);
+    x = 20.0 + 55.0 * t;
+    y = 30.0 + 35.0 * t + 6.0 * std::sin(3.0 * t * 3.14159);
+}
+
+WorkloadResult
+BodytrackWorkload::run(ApproxCacheSystem &mem)
+{
+    const unsigned cores = mem.config().n_cores;
+    Rng rng(seed_);
+
+    std::size_t frames_base = mem.alloc(kFrames * kW * kH, "frames");
+    mem.annotate(frames_base, kFrames * kW * kH, DataType::Float32);
+
+    // Synthesize frames: torso blob + head blob + noise.
+    for (unsigned f = 0; f < kFrames; ++f) {
+        double cx, cy;
+        truth(f, cx, cy);
+        for (unsigned y = 0; y < kH; ++y) {
+            for (unsigned x = 0; x < kW; ++x) {
+                double torso = 200.0 * std::exp(-((x - cx) * (x - cx) +
+                                                  (y - cy) * (y - cy)) /
+                                                (2 * 36.0));
+                double hx = cx, hy = cy - 9.0;
+                double head = 150.0 * std::exp(-((x - hx) * (x - hx) +
+                                                 (y - hy) * (y - hy)) /
+                                               (2 * 9.0));
+                double noise = rng.uniform(0.0, 24.0);
+                float pix = static_cast<float>(
+                    std::min(255.0, torso + head + noise));
+                mem.initFloat(frames_base + (f * kH + y) * kW + x, pix);
+            }
+        }
+    }
+
+    // Track: weighted centroid in a window around the last estimate.
+    WorkloadResult res;
+    double ex, ey;
+    truth(0, ex, ey); // initialized from frame 0's detection below
+    for (unsigned f = 0; f < kFrames; ++f) {
+        int x0 = std::max(0, static_cast<int>(ex) - kWindow);
+        int x1 = std::min<int>(kW - 1, static_cast<int>(ex) + kWindow);
+        int y0 = std::max(0, static_cast<int>(ey) - kWindow);
+        int y1 = std::min<int>(kH - 1, static_cast<int>(ey) + kWindow);
+        double wsum = 0.0, xsum = 0.0, ysum = 0.0;
+        for (int y = y0; y <= y1; ++y) {
+            // Rows are partitioned across cores, as the benchmark
+            // splits the per-particle likelihood evaluations.
+            unsigned core = static_cast<unsigned>(y % cores);
+            for (int x = x0; x <= x1; ++x) {
+                float pix = mem.loadFloat(
+                    core, frames_base + (f * kH + y) * kW + x);
+                double w = std::max(0.0f, pix - 60.0f); // background cut
+                wsum += w;
+                xsum += w * x;
+                ysum += w * y;
+            }
+        }
+        if (wsum > 0) {
+            ex = xsum / wsum;
+            ey = ysum / wsum;
+        }
+        res.output.push_back(ex);
+        res.output.push_back(ey);
+        mem.barrier();
+    }
+
+    res.exec_cycles = mem.executionCycles();
+    res.miss_rate = mem.missRate();
+    return res;
+}
+
+std::vector<std::uint8_t>
+BodytrackWorkload::renderOutput(const WorkloadResult &r) const
+{
+    std::vector<std::uint8_t> img(kW * kH, 0);
+    auto splat = [&](double cx, double cy, double sigma2, double gain) {
+        for (unsigned y = 0; y < kH; ++y)
+            for (unsigned x = 0; x < kW; ++x) {
+                double v = gain * std::exp(-((x - cx) * (x - cx) +
+                                             (y - cy) * (y - cy)) /
+                                           (2 * sigma2));
+                double cur = img[y * kW + x];
+                img[y * kW + x] =
+                    static_cast<std::uint8_t>(std::min(255.0, cur + v));
+            }
+    };
+    for (std::size_t f = 0; 2 * f + 1 < r.output.size(); ++f) {
+        double cx = r.output[2 * f], cy = r.output[2 * f + 1];
+        splat(cx, cy, 36.0, 120.0);
+        splat(cx, cy - 9.0, 9.0, 90.0);
+    }
+    return img;
+}
+
+} // namespace approxnoc

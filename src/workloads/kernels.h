@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The eight benchmark kernels (see workload.h for the contract).
+ * Substitution notes per kernel live in DESIGN.md Sec. 4.
+ */
+#ifndef APPROXNOC_WORKLOADS_KERNELS_H
+#define APPROXNOC_WORKLOADS_KERNELS_H
+
+#include "workloads/workload.h"
+
+namespace approxnoc {
+
+/** Black-Scholes closed-form option pricing (PARSEC blackscholes). */
+class BlackscholesWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "blackscholes"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+};
+
+/**
+ * Blob tracking over synthetic frames (PARSEC bodytrack substitute):
+ * a bright body moves across noisy frames; per frame the tracker finds
+ * the weighted centroid inside a search window. renderOutput() draws
+ * the tracked model for the paper's Fig. 17 comparison.
+ */
+class BodytrackWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "bodytrack"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+
+    unsigned imageWidth() const;
+    unsigned imageHeight() const;
+    unsigned frames() const;
+
+    /** Render the tracked model trajectory as an 8-bit image. */
+    std::vector<std::uint8_t> renderOutput(const WorkloadResult &r) const;
+
+  private:
+    /** Ground-truth blob centre in frame f. */
+    void truth(unsigned f, double &x, double &y) const;
+};
+
+/** Simulated-annealing placement (PARSEC canneal substitute). */
+class CannealWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "canneal"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+};
+
+/** 2D SPH particle simulation (PARSEC fluidanimate substitute). */
+class FluidanimateWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "fluidanimate"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+};
+
+/**
+ * Lloyd-style k-median clustering (PARSEC streamcluster substitute).
+ * The paper notes this benchmark's output error exceeds the data error
+ * budget: approximated coordinates shift point-to-center costs and the
+ * chosen centers diverge.
+ */
+class StreamclusterWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "streamcluster"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+    double outputError(const WorkloadResult &precise,
+                       const WorkloadResult &approx) const override;
+};
+
+/** Monte-Carlo swaption pricing (PARSEC swaptions substitute). */
+class SwaptionsWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "swaptions"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+};
+
+/** Full-search block motion estimation (x264 kernel substitute). */
+class X264Workload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "x264"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+    double outputError(const WorkloadResult &precise,
+                       const WorkloadResult &approx) const override;
+};
+
+/**
+ * SSCA2 betweenness centrality: R-MAT small-world graph + Brandes'
+ * algorithm; the floating-point pair-wise dependencies (delta) and the
+ * centrality scores are approximable, the graph structure is precise
+ * (paper Sec. 5.1/5.4).
+ */
+class Ssca2Workload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "ssca2"; }
+    WorkloadResult run(ApproxCacheSystem &mem) override;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_WORKLOADS_KERNELS_H

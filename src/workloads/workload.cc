@@ -1,0 +1,72 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "workloads/kernels.h"
+
+namespace approxnoc {
+
+double
+mean_relative_output_error(const std::vector<double> &precise,
+                           const std::vector<double> &approx)
+{
+    ANOC_ASSERT(precise.size() == approx.size(),
+                "output vector size mismatch");
+    if (precise.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < precise.size(); ++i) {
+        double p = precise[i], a = approx[i];
+        double err;
+        if (!std::isfinite(p) || !std::isfinite(a))
+            err = (std::isfinite(p) == std::isfinite(a)) ? 0.0 : 1.0;
+        else if (p == 0.0)
+            err = a == 0.0 ? 0.0 : 1.0;
+        else
+            err = std::min(1.0, std::fabs(a - p) / std::fabs(p));
+        sum += err;
+    }
+    return sum / static_cast<double>(precise.size());
+}
+
+double
+Workload::outputError(const WorkloadResult &precise,
+                      const WorkloadResult &approx) const
+{
+    return mean_relative_output_error(precise.output, approx.output);
+}
+
+std::unique_ptr<Workload>
+make_workload(const std::string &name, unsigned scale, std::uint64_t seed)
+{
+    if (name == "blackscholes")
+        return std::make_unique<BlackscholesWorkload>(scale, seed);
+    if (name == "bodytrack")
+        return std::make_unique<BodytrackWorkload>(scale, seed);
+    if (name == "canneal")
+        return std::make_unique<CannealWorkload>(scale, seed);
+    if (name == "fluidanimate")
+        return std::make_unique<FluidanimateWorkload>(scale, seed);
+    if (name == "streamcluster")
+        return std::make_unique<StreamclusterWorkload>(scale, seed);
+    if (name == "swaptions")
+        return std::make_unique<SwaptionsWorkload>(scale, seed);
+    if (name == "x264")
+        return std::make_unique<X264Workload>(scale, seed);
+    if (name == "ssca2")
+        return std::make_unique<Ssca2Workload>(scale, seed);
+    ANOC_FATAL("unknown workload '", name, "'");
+}
+
+const std::vector<std::string> &
+workload_names()
+{
+    static const std::vector<std::string> names = {
+        "blackscholes", "bodytrack",     "canneal",   "fluidanimate",
+        "streamcluster", "swaptions",    "x264",      "ssca2",
+    };
+    return names;
+}
+
+} // namespace approxnoc

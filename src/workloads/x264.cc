@@ -1,0 +1,121 @@
+/**
+ * @file
+ * x264 motion-estimation kernel: full-search SAD block matching of a
+ * frame against its predecessor over procedurally generated video
+ * (textured background with moving objects). Pixel data is the
+ * approximable Int32 region; the output is the motion field plus
+ * per-block SAD residuals.
+ */
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "workloads/kernels.h"
+
+namespace approxnoc {
+
+namespace {
+constexpr unsigned kW = 96, kH = 96, kMb = 16;
+constexpr int kRange = 4;
+} // namespace
+
+WorkloadResult
+X264Workload::run(ApproxCacheSystem &mem)
+{
+    const unsigned cores = mem.config().n_cores;
+    Rng rng(seed_);
+
+    std::size_t f0 = mem.alloc(kW * kH, "frame0");
+    std::size_t f1 = mem.alloc(kW * kH, "frame1");
+    mem.annotate(f0, kW * kH, DataType::Int32);
+    mem.annotate(f1, kW * kH, DataType::Int32);
+
+    // Textured background + two moving bright squares (dx,dy = 3,2).
+    auto pixel = [&](int x, int y, int shift_x, int shift_y) {
+        double v = 60.0 + 40.0 * std::sin(0.23 * x) * std::cos(0.19 * y);
+        auto in_square = [&](int sx, int sy, int size) {
+            return x >= sx + shift_x && x < sx + shift_x + size &&
+                   y >= sy + shift_y && y < sy + shift_y + size;
+        };
+        if (in_square(20, 30, 14))
+            v = 220.0;
+        if (in_square(60, 55, 10))
+            v = 180.0;
+        return static_cast<int>(std::clamp(v, 0.0, 255.0));
+    };
+    for (unsigned y = 0; y < kH; ++y)
+        for (unsigned x = 0; x < kW; ++x) {
+            mem.initInt(f0 + y * kW + x, pixel(x, y, 0, 0));
+            mem.initInt(f1 + y * kW + x, pixel(x, y, 3, 2));
+        }
+
+    const unsigned mbs_x = kW / kMb, mbs_y = kH / kMb;
+    WorkloadResult res;
+    for (unsigned my = 0; my < mbs_y; ++my) {
+        for (unsigned mx = 0; mx < mbs_x; ++mx) {
+            unsigned core = static_cast<unsigned>((my * mbs_x + mx) % cores);
+            long best_sad = -1;
+            int best_dx = 0, best_dy = 0;
+            for (int dy = -kRange; dy <= kRange; ++dy) {
+                for (int dx = -kRange; dx <= kRange; ++dx) {
+                    long sad = 0;
+                    bool valid = true;
+                    for (unsigned py = 0; py < kMb && valid; ++py) {
+                        for (unsigned px = 0; px < kMb; ++px) {
+                            int x1 = static_cast<int>(mx * kMb + px);
+                            int y1 = static_cast<int>(my * kMb + py);
+                            int x0 = x1 + dx, y0 = y1 + dy;
+                            if (x0 < 0 || y0 < 0 ||
+                                x0 >= static_cast<int>(kW) ||
+                                y0 >= static_cast<int>(kH)) {
+                                valid = false;
+                                break;
+                            }
+                            int a = mem.loadInt(core, f1 + y1 * kW + x1);
+                            int b = mem.loadInt(core, f0 + y0 * kW + x0);
+                            sad += std::abs(a - b);
+                        }
+                    }
+                    if (valid && (best_sad < 0 || sad < best_sad)) {
+                        best_sad = sad;
+                        best_dx = dx;
+                        best_dy = dy;
+                    }
+                }
+            }
+            res.output.push_back(best_dx);
+            res.output.push_back(best_dy);
+            res.output.push_back(static_cast<double>(best_sad));
+        }
+    }
+    mem.barrier();
+    res.exec_cycles = mem.executionCycles();
+    res.miss_rate = mem.missRate();
+    return res;
+}
+
+double
+X264Workload::outputError(const WorkloadResult &precise,
+                          const WorkloadResult &approx) const
+{
+    // Motion-field quality: normalized motion-vector displacement and
+    // relative residual (SAD) change, averaged over macroblocks.
+    const std::size_t n_mb = precise.output.size() / 3;
+    double err = 0.0;
+    for (std::size_t i = 0; i < n_mb; ++i) {
+        double dvx = approx.output[3 * i] - precise.output[3 * i];
+        double dvy = approx.output[3 * i + 1] - precise.output[3 * i + 1];
+        double mv_err =
+            std::min(1.0, std::hypot(dvx, dvy) / (2.0 * kRange));
+        double sp = precise.output[3 * i + 2];
+        double sa = approx.output[3 * i + 2];
+        // Residual change relative to the block's full dynamic range
+        // (a PSNR-like normalization; dividing by the residual itself
+        // explodes for near-perfect matches).
+        double sad_err = std::fabs(sa - sp) / (kMb * kMb * 255.0);
+        err += 0.5 * mv_err + 0.5 * std::min(1.0, sad_err);
+    }
+    return n_mb ? err / static_cast<double>(n_mb) : 0.0;
+}
+
+} // namespace approxnoc

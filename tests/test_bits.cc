@@ -1,0 +1,100 @@
+/** Unit tests for common/bits.h. */
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+using namespace approxnoc;
+
+TEST(Bits, LowMask32)
+{
+    EXPECT_EQ(low_mask32(0), 0u);
+    EXPECT_EQ(low_mask32(1), 1u);
+    EXPECT_EQ(low_mask32(8), 0xFFu);
+    EXPECT_EQ(low_mask32(31), 0x7FFFFFFFu);
+    EXPECT_EQ(low_mask32(32), 0xFFFFFFFFu);
+    EXPECT_EQ(low_mask32(40), 0xFFFFFFFFu);
+}
+
+TEST(Bits, LowMask64)
+{
+    EXPECT_EQ(low_mask64(0), 0ull);
+    EXPECT_EQ(low_mask64(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(low_mask64(64), ~0ull);
+}
+
+TEST(Bits, Bits32Extract)
+{
+    EXPECT_EQ(bits32(0xDEADBEEF, 31, 16), 0xDEADu);
+    EXPECT_EQ(bits32(0xDEADBEEF, 15, 0), 0xBEEFu);
+    EXPECT_EQ(bits32(0xDEADBEEF, 7, 4), 0xEu);
+    EXPECT_EQ(bits32(0x80000000, 31, 31), 1u);
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2_floor(1), 0u);
+    EXPECT_EQ(log2_floor(2), 1u);
+    EXPECT_EQ(log2_floor(3), 1u);
+    EXPECT_EQ(log2_floor(4), 2u);
+    EXPECT_EQ(log2_floor(1023), 9u);
+    EXPECT_EQ(log2_floor(1024), 10u);
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2_ceil(1), 0u);
+    EXPECT_EQ(log2_ceil(2), 1u);
+    EXPECT_EQ(log2_ceil(3), 2u);
+    EXPECT_EQ(log2_ceil(4), 2u);
+    EXPECT_EQ(log2_ceil(5), 3u);
+    EXPECT_EQ(log2_ceil(1 << 20), 20u);
+}
+
+TEST(Bits, FitsSigned)
+{
+    EXPECT_TRUE(fits_signed(7, 4));
+    EXPECT_TRUE(fits_signed(static_cast<std::uint32_t>(-8), 4));
+    EXPECT_FALSE(fits_signed(8, 4));
+    EXPECT_FALSE(fits_signed(static_cast<std::uint32_t>(-9), 4));
+    EXPECT_TRUE(fits_signed(127, 8));
+    EXPECT_FALSE(fits_signed(128, 8));
+}
+
+TEST(Bits, SignExtend32)
+{
+    EXPECT_EQ(sign_extend32(0xF, 4), 0xFFFFFFFFu);
+    EXPECT_EQ(sign_extend32(0x7, 4), 0x7u);
+    EXPECT_EQ(sign_extend32(0x80, 8), 0xFFFFFF80u);
+    EXPECT_EQ(sign_extend32(0x7F, 8), 0x7Fu);
+    EXPECT_EQ(sign_extend32(0xFFFF, 16), 0xFFFFFFFFu);
+    EXPECT_EQ(sign_extend32(0x1234, 16), 0x1234u);
+    EXPECT_EQ(sign_extend32(0xDEADBEEF, 32), 0xDEADBEEFu);
+}
+
+TEST(Bits, AbsDiff)
+{
+    EXPECT_EQ(abs_diff_signed(5, 9), 4u);
+    EXPECT_EQ(abs_diff_signed(static_cast<Word>(-5), 5), 10u);
+    EXPECT_EQ(abs_diff_signed(0x80000000u, 0x7FFFFFFFu),
+              0xFFFFFFFFull); // INT_MIN vs INT_MAX
+    EXPECT_EQ(abs_diff_unsigned(3, 10), 7u);
+    EXPECT_EQ(abs_diff_unsigned(10, 3), 7u);
+}
+
+TEST(Bits, Float32Fields)
+{
+    // 1.0f = 0x3F800000: sign 0, exponent 127, mantissa 0.
+    EXPECT_EQ(Float32Fields::sign(0x3F800000), 0u);
+    EXPECT_EQ(Float32Fields::exponent(0x3F800000), 127u);
+    EXPECT_EQ(Float32Fields::mantissa(0x3F800000), 0u);
+    EXPECT_FALSE(Float32Fields::isSpecial(0x3F800000));
+
+    // Zero, denormal, inf, NaN are special.
+    EXPECT_TRUE(Float32Fields::isSpecial(0x00000000)); // +0
+    EXPECT_TRUE(Float32Fields::isSpecial(0x80000000)); // -0
+    EXPECT_TRUE(Float32Fields::isSpecial(0x00000001)); // denormal
+    EXPECT_TRUE(Float32Fields::isSpecial(0x7F800000)); // +inf
+    EXPECT_TRUE(Float32Fields::isSpecial(0x7FC00000)); // NaN
+
+    EXPECT_EQ(Float32Fields::assemble(1, 127, 0x400000), 0xBFC00000u);
+}

@@ -1,0 +1,191 @@
+/** CAM and TCAM behavioural tests. */
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "tcam/cam.h"
+#include "tcam/tcam.h"
+
+using namespace approxnoc;
+
+TEST(Cam, InsertAndSearch)
+{
+    Cam cam(4);
+    EXPECT_FALSE(cam.search(42));
+    std::size_t s = cam.insert(42);
+    auto hit = cam.search(42);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, s);
+    EXPECT_EQ(cam.key(s), 42u);
+    EXPECT_EQ(cam.validCount(), 1u);
+}
+
+TEST(Cam, ReinsertSameKeyKeepsSlot)
+{
+    Cam cam(4);
+    std::size_t a = cam.insert(7);
+    std::size_t b = cam.insert(7);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(cam.validCount(), 1u);
+    EXPECT_EQ(cam.frequency(a), 2u);
+}
+
+TEST(Cam, LfuReplacementEvictsColdest)
+{
+    Cam cam(2, ReplacementPolicy::Lfu);
+    cam.insert(1);
+    cam.insert(2);
+    // Heat up key 1.
+    cam.search(1);
+    cam.search(1);
+    std::size_t victim_slot = cam.victimFor(3);
+    EXPECT_EQ(cam.key(victim_slot), 2u);
+    cam.insert(3);
+    EXPECT_TRUE(cam.peek(1));
+    EXPECT_FALSE(cam.peek(2));
+    EXPECT_TRUE(cam.peek(3));
+}
+
+TEST(Cam, LruReplacementEvictsOldest)
+{
+    Cam cam(2, ReplacementPolicy::Lru);
+    cam.insert(1);
+    cam.insert(2);
+    cam.search(1); // 2 now oldest
+    cam.insert(3);
+    EXPECT_TRUE(cam.peek(1));
+    EXPECT_FALSE(cam.peek(2));
+}
+
+TEST(Cam, EraseAndClear)
+{
+    Cam cam(4);
+    std::size_t s = cam.insert(5);
+    cam.erase(s);
+    EXPECT_FALSE(cam.peek(5));
+    cam.insert(6);
+    cam.insert(7);
+    cam.clear();
+    EXPECT_EQ(cam.validCount(), 0u);
+}
+
+TEST(Cam, ActivityCounters)
+{
+    Cam cam(4);
+    cam.insert(1);
+    cam.search(1);
+    cam.search(2);
+    EXPECT_EQ(cam.writes(), 1u);
+    EXPECT_EQ(cam.searches(), 2u);
+}
+
+TEST(Cam, PeekHasNoSideEffects)
+{
+    Cam cam(2, ReplacementPolicy::Lfu);
+    cam.insert(1);
+    for (int i = 0; i < 10; ++i)
+        cam.peek(1);
+    EXPECT_EQ(cam.frequency(*cam.peek(1)), 1u);
+    EXPECT_EQ(cam.searches(), 0u);
+}
+
+TEST(TernaryPattern, Matching)
+{
+    // Paper Sec. 4.2.1: 10xx matches 1000, 1001, 1010, 1011.
+    TernaryPattern p{0b1001, 0b0011};
+    EXPECT_TRUE(p.matches(0b1000));
+    EXPECT_TRUE(p.matches(0b1001));
+    EXPECT_TRUE(p.matches(0b1010));
+    EXPECT_TRUE(p.matches(0b1011));
+    EXPECT_FALSE(p.matches(0b0101));
+    EXPECT_FALSE(p.matches(0b1100));
+}
+
+TEST(TernaryPattern, ToStringShowsDontCares)
+{
+    TernaryPattern p{0b1001, 0b0011};
+    EXPECT_EQ(p.toString(4), "10xx");
+}
+
+TEST(TernaryPattern, CanonicalEquality)
+{
+    TernaryPattern a{0b1001, 0b0011};
+    TernaryPattern b{0b1010, 0b0011};
+    EXPECT_TRUE(a == b) << "patterns differing only in masked bits are equal";
+    TernaryPattern c{0b1001, 0b0001};
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Tcam, SearchFindsMatchingEntry)
+{
+    Tcam t(4);
+    t.insert(TernaryPattern{0x100, 0xF});
+    auto hit = t.search(0x105);
+    ASSERT_TRUE(hit);
+    EXPECT_TRUE(t.pattern(*hit).matches(0x105));
+    EXPECT_FALSE(t.search(0x200));
+}
+
+TEST(Tcam, PriorityIsLowestIndex)
+{
+    Tcam t(4);
+    std::size_t a = t.insert(TernaryPattern{0x100, 0xFF});
+    std::size_t b = t.insert(TernaryPattern{0x100, 0xF});
+    ASSERT_LT(a, b);
+    auto hit = t.search(0x100);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, a);
+    auto all = t.searchAll(0x100);
+    EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(Tcam, InsertIdenticalPatternReusesSlot)
+{
+    Tcam t(4);
+    std::size_t a = t.insert(TernaryPattern{0b1001, 0b0011});
+    std::size_t b = t.insert(TernaryPattern{0b1011, 0b0011}); // same canonical
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(t.validCount(), 1u);
+}
+
+TEST(Tcam, ReplacementWhenFull)
+{
+    Tcam t(2, ReplacementPolicy::Lfu);
+    t.insert(TernaryPattern{0x10, 0});
+    t.insert(TernaryPattern{0x20, 0});
+    t.search(0x10);
+    t.search(0x10);
+    t.insert(TernaryPattern{0x30, 0});
+    EXPECT_TRUE(t.peek(0x10));
+    EXPECT_FALSE(t.peek(0x20));
+    EXPECT_TRUE(t.peek(0x30));
+}
+
+TEST(Tcam, EraseFreesSlot)
+{
+    Tcam t(2);
+    std::size_t a = t.insert(TernaryPattern{0x10, 0});
+    t.erase(a);
+    EXPECT_EQ(t.validCount(), 1u - 1u);
+    EXPECT_FALSE(t.search(0x10));
+}
+
+TEST(Tcam, RandomizedMatchSemantics)
+{
+    Rng rng(31);
+    Tcam t(8);
+    std::vector<TernaryPattern> inserted;
+    for (int i = 0; i < 8; ++i) {
+        TernaryPattern p{static_cast<Word>(rng.bits()),
+                         low_mask32(static_cast<unsigned>(rng.next(12)))};
+        t.insert(p);
+        inserted.push_back(p.canonical());
+    }
+    for (int i = 0; i < 5000; ++i) {
+        Word key = static_cast<Word>(rng.bits());
+        bool any = false;
+        for (const auto &p : inserted)
+            any = any || p.matches(key);
+        EXPECT_EQ(t.peek(key).has_value(), any);
+    }
+}

@@ -1,0 +1,160 @@
+/** ErrorModel and AVCL tests, including the error-bound invariant. */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "approx/avcl.h"
+#include "approx/error_model.h"
+#include "common/bits.h"
+#include "common/rng.h"
+
+using namespace approxnoc;
+
+TEST(ErrorModel, ShiftBits)
+{
+    EXPECT_EQ(ErrorModel(10.0).shiftBits(), 4u);  // ceil(log2(10))
+    EXPECT_EQ(ErrorModel(20.0).shiftBits(), 3u);  // ceil(log2(5))
+    EXPECT_EQ(ErrorModel(5.0).shiftBits(), 5u);   // ceil(log2(20))
+    EXPECT_EQ(ErrorModel(25.0).shiftBits(), 2u);  // ceil(log2(4))
+    EXPECT_EQ(ErrorModel(50.0).shiftBits(), 1u);
+}
+
+TEST(ErrorModel, DisabledAtZeroThreshold)
+{
+    ErrorModel em(0.0);
+    EXPECT_FALSE(em.enabled());
+    EXPECT_EQ(em.errorRange(1000000), 0u);
+    EXPECT_EQ(em.dontCareBits(1000000), 0u);
+}
+
+TEST(ErrorModel, PaperShiftExample)
+{
+    // Paper Sec. 3.2: threshold 25%, value 128 -> error range 32.
+    ErrorModel em(25.0, ErrorRangeMode::Shift);
+    EXPECT_EQ(em.errorRange(128), 32u);
+}
+
+TEST(ErrorModel, ShiftIsConservativeVsExact)
+{
+    Rng rng(3);
+    for (double e : {5.0, 10.0, 20.0, 25.0, 33.0}) {
+        ErrorModel shift(e, ErrorRangeMode::Shift);
+        ErrorModel exact(e, ErrorRangeMode::Exact);
+        for (int i = 0; i < 2000; ++i) {
+            std::uint64_t v = rng.next(1ull << 32);
+            EXPECT_LE(shift.errorRange(v), exact.errorRange(v))
+                << "e=" << e << " v=" << v;
+        }
+    }
+}
+
+TEST(ErrorModel, ErrorRangeWithinThreshold)
+{
+    Rng rng(5);
+    for (double e : {5.0, 10.0, 20.0}) {
+        ErrorModel em(e, ErrorRangeMode::Shift);
+        for (int i = 0; i < 2000; ++i) {
+            std::uint64_t v = 1 + rng.next(1ull << 31);
+            double rel = static_cast<double>(em.errorRange(v)) /
+                         static_cast<double>(v);
+            EXPECT_LE(rel, e / 100.0 + 1e-12);
+        }
+    }
+}
+
+TEST(ErrorModel, DontCareBitsBound)
+{
+    Rng rng(9);
+    for (double e : {5.0, 10.0, 20.0}) {
+        ErrorModel em(e);
+        for (int i = 0; i < 2000; ++i) {
+            std::uint64_t v = 1 + rng.next(1ull << 31);
+            unsigned k = em.dontCareBits(v);
+            // Flipping all k low bits changes the value by at most
+            // 2^k - 1, which must sit inside the error range.
+            EXPECT_LE((1ull << k) - 1, em.errorRange(v));
+        }
+    }
+}
+
+TEST(Avcl, RawAndNonFiniteBypass)
+{
+    Avcl avcl{ErrorModel(10.0)};
+    EXPECT_TRUE(avcl.analyze(12345, DataType::Raw).bypass);
+    EXPECT_TRUE(avcl.analyze(0x7F800000, DataType::Float32).bypass); // inf
+    EXPECT_TRUE(avcl.analyze(0x7FC00000, DataType::Float32).bypass); // NaN
+    EXPECT_TRUE(avcl.analyze(0x00000000, DataType::Float32).bypass); // 0
+    EXPECT_TRUE(avcl.analyze(0x00000001, DataType::Float32).bypass); // denorm
+}
+
+TEST(Avcl, SmallIntegersBypass)
+{
+    // errorRange(small) = 0 -> no don't-care bits -> bypass.
+    Avcl avcl{ErrorModel(10.0)};
+    for (Word w : {0u, 1u, 5u, 15u})
+        EXPECT_TRUE(avcl.analyze(w, DataType::Int32).bypass) << w;
+}
+
+TEST(Avcl, IntErrorBoundInvariant)
+{
+    Rng rng(21);
+    for (double e : {5.0, 10.0, 20.0}) {
+        Avcl avcl{ErrorModel(e)};
+        for (int i = 0; i < 5000; ++i) {
+            auto v = static_cast<std::int32_t>(rng.range(-2000000000, 2000000000));
+            Word w = static_cast<Word>(v);
+            auto d = avcl.analyze(w, DataType::Int32);
+            if (d.bypass)
+                continue;
+            // Any value reachable by changing the k don't-care bits
+            // stays within e% of the original magnitude.
+            std::uint64_t max_change = (1ull << d.dont_care_bits) - 1;
+            double mag = std::abs(static_cast<double>(v));
+            EXPECT_LE(static_cast<double>(max_change), mag * e / 100.0 + 1e-9)
+                << "v=" << v << " e=" << e;
+        }
+    }
+}
+
+TEST(Avcl, FloatErrorBoundInvariant)
+{
+    Rng rng(23);
+    for (double e : {5.0, 10.0, 20.0}) {
+        Avcl avcl{ErrorModel(e)};
+        for (int i = 0; i < 5000; ++i) {
+            float f = static_cast<float>(rng.uniform(-1e20, 1e20));
+            Word w = std::bit_cast<Word>(f);
+            auto d = avcl.analyze(w, DataType::Float32);
+            if (d.bypass)
+                continue;
+            ASSERT_LE(d.dont_care_bits, 23u)
+                << "don't-cares must stay in the mantissa";
+            // Perturb the mantissa maximally within the mask: the float
+            // value must stay within e%.
+            Word w2 = w ^ low_mask32(d.dont_care_bits);
+            float f2 = std::bit_cast<float>(w2);
+            EXPECT_LE(std::abs(f2 - f), std::abs(f) * e / 100.0 * 1.0001f)
+                << "f=" << f;
+        }
+    }
+}
+
+TEST(Avcl, PatternForCanonicalizes)
+{
+    Avcl avcl{ErrorModel(20.0)};
+    // 1000 with 20% threshold: range = 1000 >> 3 = 125 -> k = 6.
+    TernaryPattern p = avcl.patternFor(1000, DataType::Int32);
+    EXPECT_EQ(p.mask, low_mask32(6));
+    EXPECT_EQ(p.value & p.mask, 0u) << "canonical form zeroes masked bits";
+    EXPECT_TRUE(p.matches(1000));
+    EXPECT_TRUE(p.matches(1000 ^ 0x3F));
+    EXPECT_FALSE(p.matches(1000 + 64));
+}
+
+TEST(Avcl, ActivationsCounted)
+{
+    Avcl avcl{ErrorModel(10.0)};
+    EXPECT_EQ(avcl.activations(), 0u);
+    avcl.analyze(100, DataType::Int32);
+    avcl.analyze(100, DataType::Int32);
+    EXPECT_EQ(avcl.activations(), 2u);
+}

@@ -1,0 +1,346 @@
+/**
+ * Tests for the extension features: window-budget VAXX (the paper's
+ * future work), adaptive compression on/off, online error control, and
+ * the wire-format serialization.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "approx/window_vaxx.h"
+#include "common/bits.h"
+#include "common/bitstream.h"
+#include "common/rng.h"
+#include "compression/adaptive.h"
+#include "compression/wire.h"
+#include "core/codec_factory.h"
+#include "core/error_control.h"
+#include "noc/qos_loop.h"
+#include "sim/simulator.h"
+#include "traffic/data_provider.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+
+// ---------------------------------------------------------------- window
+
+TEST(WindowVaxx, MatchesPerWordModeOnUniformData)
+{
+    // When every word needs about the same allowance, window and
+    // per-word budgets behave alike.
+    Rng rng(101);
+    WindowVaxxCodec window{ErrorModel(10.0)};
+    FpVaxxCodec perword{ErrorModel(10.0)};
+    for (int i = 0; i < 200; ++i) {
+        std::vector<std::int32_t> vals(16);
+        for (auto &v : vals)
+            v = static_cast<std::int32_t>(rng.range(1000, 2000));
+        DataBlock b = DataBlock::fromInts(vals, true);
+        EXPECT_LE(window.encode(b, 0, 1, 0).bits(),
+                  perword.encode(b, 0, 1, 0).bits() + 64);
+    }
+}
+
+TEST(WindowVaxx, BudgetPoolingBeatsPerWordOnSkewedData)
+{
+    // A few words need a wide mask to reach a pattern; most match
+    // exactly and donate budget. Per-word VAXX cannot compress the
+    // hard words; the window variant can.
+    std::vector<Word> ws;
+    for (int i = 0; i < 16; ++i) {
+        if (i % 4 == 0)
+            ws.push_back(0x00012000u); // HalfPadded needs 14 masked bits
+        else
+            ws.push_back(static_cast<Word>(i)); // exact Sign4 matches
+    }
+    DataBlock b(ws, DataType::Int32, true);
+
+    WindowVaxxCodec window{ErrorModel(3.0), /*per_word_cap=*/16.0};
+    FpVaxxCodec perword{ErrorModel(3.0)};
+    EncodedBlock we = window.encode(b, 0, 1, 0);
+    EncodedBlock pe = perword.encode(b, 0, 1, 0);
+    EXPECT_LT(we.bits(), pe.bits());
+    EXPECT_GT(we.approximatedWords(), pe.approximatedWords());
+}
+
+TEST(WindowVaxx, CumulativeBudgetIsRespected)
+{
+    Rng rng(103);
+    for (double e : {5.0, 10.0}) {
+        WindowVaxxCodec codec{ErrorModel(e)};
+        for (int i = 0; i < 400; ++i) {
+            std::vector<std::int32_t> vals(16);
+            for (auto &v : vals)
+                v = static_cast<std::int32_t>(rng.range(-500000, 500000));
+            DataBlock b = DataBlock::fromInts(vals, true);
+            EncodedBlock enc = codec.encode(b, 0, 1, 0);
+            DataBlock out = codec.decode(enc, 0, 1, 0);
+            // Sum of per-word relative errors <= block budget.
+            double total = 0.0;
+            for (std::size_t j = 0; j < b.size(); ++j)
+                total += avcl_relative_error(b.word(j), out.word(j),
+                                             DataType::Int32);
+            EXPECT_LE(total * 100.0,
+                      e * static_cast<double>(b.size()) + 1e-6);
+            EXPECT_LE(codec.lastBlockErrorSpent(),
+                      e * static_cast<double>(b.size()) + 1e-6);
+        }
+    }
+}
+
+TEST(WindowVaxx, NonApproximableStaysExact)
+{
+    WindowVaxxCodec codec{ErrorModel(20.0)};
+    DataBlock b(std::vector<Word>(16, 0xDEADBEEF), DataType::Int32, false);
+    DataBlock out = codec.decode(codec.encode(b, 0, 1, 0), 0, 1, 0);
+    EXPECT_TRUE(out.sameBits(b));
+}
+
+// --------------------------------------------------------------- adaptive
+
+TEST(Adaptive, TurnsOffOnIncompressibleData)
+{
+    AdaptiveConfig acfg;
+    acfg.n_nodes = 4;
+    acfg.window_blocks = 8;
+    auto inner = std::make_unique<FpcCodec>();
+    AdaptiveCodec codec(std::move(inner), acfg);
+
+    Rng rng(111);
+    for (int i = 0; i < 16; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws)
+            w = static_cast<Word>(rng.bits()) | 0x01000000; // incompressible
+        DataBlock b(ws, DataType::Raw, false);
+        codec.decode(codec.encode(b, 0, 1, i), 0, 1, i);
+    }
+    EXPECT_FALSE(codec.compressionEnabled(0));
+    EXPECT_GT(codec.bypassedBlocks(), 0u);
+    // Other senders are unaffected.
+    EXPECT_TRUE(codec.compressionEnabled(1));
+}
+
+TEST(Adaptive, StaysOnForCompressibleData)
+{
+    AdaptiveConfig acfg;
+    acfg.n_nodes = 4;
+    acfg.window_blocks = 8;
+    AdaptiveCodec codec(std::make_unique<FpcCodec>(), acfg);
+    for (int i = 0; i < 64; ++i) {
+        DataBlock b(std::vector<Word>(16, 3), DataType::Int32, false);
+        codec.decode(codec.encode(b, 0, 1, i), 0, 1, i);
+    }
+    EXPECT_TRUE(codec.compressionEnabled(0));
+    EXPECT_EQ(codec.bypassedBlocks(), 0u);
+}
+
+TEST(Adaptive, ProbesAndRecovers)
+{
+    AdaptiveConfig acfg;
+    acfg.n_nodes = 2;
+    acfg.window_blocks = 4;
+    acfg.off_blocks = 8;
+    acfg.probe_blocks = 4;
+    AdaptiveCodec codec(std::make_unique<FpcCodec>(), acfg);
+
+    Rng rng(113);
+    auto send = [&](bool compressible, int n) {
+        for (int i = 0; i < n; ++i) {
+            std::vector<Word> ws(16);
+            for (auto &w : ws)
+                w = compressible
+                        ? 5u
+                        : (static_cast<Word>(rng.bits()) | 0x01000000);
+            DataBlock b(ws, DataType::Raw, false);
+            codec.decode(codec.encode(b, 0, 1, 0), 0, 1, 0);
+        }
+    };
+    send(false, 8); // goes Off
+    EXPECT_FALSE(codec.compressionEnabled(0));
+    send(true, 40); // Off window elapses, probe sees compressible data
+    EXPECT_TRUE(codec.compressionEnabled(0));
+}
+
+TEST(Adaptive, RoundTripStaysExact)
+{
+    AdaptiveConfig acfg;
+    acfg.n_nodes = 4;
+    acfg.window_blocks = 4;
+    acfg.off_blocks = 6;
+    AdaptiveCodec codec(std::make_unique<FpcCodec>(), acfg);
+    Rng rng(115);
+    for (int i = 0; i < 500; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws)
+            w = rng.chance(0.5) ? 7u : static_cast<Word>(rng.bits());
+        DataBlock b(ws, DataType::Raw, false);
+        DataBlock out = codec.decode(codec.encode(b, 0, 1, i), 0, 1, i);
+        ASSERT_TRUE(out.sameBits(b));
+    }
+}
+
+// ----------------------------------------------------------- QoS control
+
+TEST(QosController, AimdBehaviour)
+{
+    QosController c(/*target=*/1.0, /*initial=*/10.0, 0.0, 50.0,
+                    /*step=*/1.0, /*cut=*/0.5);
+    EXPECT_DOUBLE_EQ(c.update(0.5), 11.0);  // under target: +1
+    EXPECT_DOUBLE_EQ(c.update(2.0), 5.5);   // violation: halve
+    EXPECT_EQ(c.violations(), 1u);
+    for (int i = 0; i < 100; ++i)
+        c.update(0.0);
+    EXPECT_DOUBLE_EQ(c.threshold(), 50.0); // clamped at max
+}
+
+TEST(QosLoop, KeepsMeasuredErrorNearTarget)
+{
+    NocConfig ncfg;
+    CodecConfig cc;
+    cc.n_nodes = ncfg.nodes();
+    cc.error_threshold_pct = 30.0; // start far too aggressive
+    auto codec = make_codec(Scheme::DiVaxx, cc);
+    Network net(ncfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    SyntheticConfig tc;
+    tc.injection_rate = 0.15;
+    tc.data_packet_ratio = 0.6;
+    SyntheticDataProvider provider(DataType::Int32, 16, 0.95, 4.0, 9, 0.6,
+                                   8);
+    SyntheticTraffic gen(net, tc, provider);
+    sim.add(&gen);
+
+    ErrorControlLoop loop(
+        net, QosController(/*target=*/0.2, /*initial=*/30.0), 1000);
+    sim.add(&loop);
+
+    sim.run(60000);
+    EXPECT_GT(loop.adjustments(), 0u);
+    // The controller must have pulled the threshold down from 30%.
+    EXPECT_LT(loop.controller().threshold(), 30.0);
+}
+
+// ------------------------------------------------------------- bitstream
+
+TEST(BitStream, RoundTripFields)
+{
+    BitWriter w;
+    w.write(0b101, 3);
+    w.write(0xDEADBEEF, 32);
+    w.write(1, 1);
+    w.write(0x3FF, 10);
+    w.write(0, 0);
+    EXPECT_EQ(w.bitCount(), 46u);
+
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.read(3), 0b101u);
+    EXPECT_EQ(r.read(32), 0xDEADBEEFu);
+    EXPECT_EQ(r.read(1), 1u);
+    EXPECT_EQ(r.read(10), 0x3FFu);
+    EXPECT_TRUE(r.exhausted(3));
+}
+
+TEST(BitStream, RandomizedRoundTrip)
+{
+    Rng rng(121);
+    for (int t = 0; t < 200; ++t) {
+        BitWriter w;
+        std::vector<std::pair<std::uint64_t, unsigned>> fields;
+        for (int i = 0; i < 50; ++i) {
+            unsigned n = 1 + static_cast<unsigned>(rng.next(64));
+            std::uint64_t v = rng.bits() & low_mask64(n);
+            fields.emplace_back(v, n);
+            w.write(v, n);
+        }
+        BitReader r(w.bytes());
+        for (auto [v, n] : fields)
+            ASSERT_EQ(r.read(n), v);
+    }
+}
+
+TEST(Wire, FpcPackUnpackMatchesCodec)
+{
+    Rng rng(123);
+    FpVaxxCodec codec{ErrorModel(10.0)};
+    for (int i = 0; i < 500; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws) {
+            w = rng.chance(0.5)
+                    ? static_cast<Word>(rng.range(-1000, 1000))
+                    : static_cast<Word>(rng.bits());
+        }
+        DataBlock b(ws, DataType::Int32, rng.chance(0.75));
+        EncodedBlock enc = codec.encode(b, 0, 1, 0);
+        DataBlock via_codec = codec.decode(enc, 0, 1, 0);
+
+        bool raw = false;
+        auto bytes = fpc_wire::pack(enc, raw); // asserts exact bit count
+        DataBlock via_wire = fpc_wire::unpack(bytes, raw, b.size(),
+                                              b.type(), b.approximable());
+        ASSERT_TRUE(via_wire.sameBits(via_codec))
+            << "wire decode must equal codec decode";
+    }
+}
+
+TEST(Wire, DictionaryPackUnpackStructure)
+{
+    DictionaryConfig dict;
+    dict.n_nodes = 4;
+    DiCompCodec codec(dict);
+    Rng rng(125);
+    Cycle t = 0;
+    for (int i = 0; i < 400; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws)
+            w = rng.chance(0.6) ? 42u : static_cast<Word>(rng.bits());
+        DataBlock b(ws, DataType::Int32, false);
+        EncodedBlock enc = codec.encode(b, 0, 1, t);
+        codec.decode(enc, 0, 1, t);
+        t += 40;
+
+        bool raw = false;
+        auto bytes = di_wire::pack(enc, raw);
+        auto units =
+            di_wire::unpack(bytes, raw, b.size(), dict.indexBits());
+        ASSERT_EQ(units.size(), enc.words().size());
+        for (std::size_t j = 0; j < units.size(); ++j) {
+            ASSERT_EQ(units[j].compressed,
+                      enc.words()[j].kind ==
+                          static_cast<std::uint8_t>(DiWordKind::Compressed));
+            ASSERT_EQ(units[j].payload, enc.words()[j].payload);
+        }
+    }
+}
+
+TEST(Wire, WindowVaxxPacksToo)
+{
+    WindowVaxxCodec codec{ErrorModel(10.0)};
+    Rng rng(127);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<float> vals(16);
+        for (auto &v : vals)
+            v = static_cast<float>(rng.uniform(1.0, 1e6));
+        DataBlock b = DataBlock::fromFloats(vals, true);
+        EncodedBlock enc = codec.encode(b, 0, 1, 0);
+        bool raw = false;
+        auto bytes = fpc_wire::pack(enc, raw);
+        DataBlock via_wire = fpc_wire::unpack(bytes, raw, b.size(),
+                                              b.type(), b.approximable());
+        DataBlock via_codec = codec.decode(enc, 0, 1, 0);
+        ASSERT_TRUE(via_wire.sameBits(via_codec));
+    }
+}
+
+TEST(DynamicThreshold, TakesEffectImmediatelyForFpVaxx)
+{
+    FpVaxxCodec codec{ErrorModel(0.0)};
+    std::vector<float> vals(16, 12345.678f);
+    DataBlock b = DataBlock::fromFloats(vals, true);
+    EncodedBlock before = codec.encode(b, 0, 1, 0);
+    EXPECT_EQ(before.approximatedWords(), 0u);
+    ASSERT_TRUE(codec.setErrorThreshold(10.0));
+    EncodedBlock after = codec.encode(b, 0, 1, 1);
+    EXPECT_GT(after.approximatedWords(), 0u);
+    EXPECT_LT(after.bits(), before.bits());
+}

@@ -1,0 +1,152 @@
+/**
+ * Failure-injection tests: the decoders must detect (count) corrupted
+ * or inconsistent NRs without crashing or silently propagating
+ * garbage, and the network must survive pathological inputs.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/codec_factory.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+
+using namespace approxnoc;
+
+namespace {
+
+EncodedWord
+tampered(EncodedWord w, std::uint32_t new_payload)
+{
+    w.payload = new_payload;
+    return w;
+}
+
+} // namespace
+
+TEST(FaultInjection, DictionaryDetectsCorruptIndex)
+{
+    DictionaryConfig dict;
+    dict.n_nodes = 4;
+    DiCompCodec codec(dict);
+
+    // Train a pattern so compressed words appear.
+    DataBlock b({0xABCD, 0xABCD}, DataType::Int32, false);
+    Cycle t = 0;
+    for (int i = 0; i < 4; ++i) {
+        codec.decode(codec.encode(b, 0, 1, t), 0, 1, t);
+        t += 60;
+    }
+    EncodedBlock enc = codec.encode(b, 0, 1, t);
+    ASSERT_EQ(enc.uncompressedWords(), 0u) << "training failed";
+
+    // Corrupt the index of every compressed word (bit flip in flight).
+    EncodedBlock bad;
+    for (const auto &w : enc.words())
+        bad.append(tampered(w, w.payload ^ 0x7u));
+    bad.setMeta(enc.type(), enc.approximable());
+
+    std::uint64_t before = codec.consistencyMismatches();
+    DataBlock out = codec.decode(bad, 0, 1, t);
+    EXPECT_GT(codec.consistencyMismatches(), before)
+        << "corruption must be detected";
+    EXPECT_EQ(out.size(), b.size()) << "decode must not crash or truncate";
+}
+
+TEST(FaultInjection, DictionaryDetectsUnknownIndexFromUntrainedPair)
+{
+    DictionaryConfig dict;
+    dict.n_nodes = 4;
+    DiCompCodec codec(dict);
+    // Hand-craft a compressed reference to a never-trained index.
+    EncodedBlock forged;
+    EncodedWord ew;
+    ew.kind = static_cast<std::uint8_t>(DiWordKind::Compressed);
+    ew.bits = 4;
+    ew.payload = 5; // index 5 was never installed
+    ew.decoded = 0x1234;
+    forged.append(ew);
+    forged.setMeta(DataType::Int32, false);
+
+    DataBlock out = codec.decode(forged, 2, 3, 0);
+    EXPECT_EQ(codec.consistencyMismatches(), 1u);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(FaultInjection, LostNotificationOnlyCostsCompression)
+{
+    // Drop every decoder->encoder notification (e.g. a filtered
+    // control channel): data must stay exact; only compression is lost.
+    DictionaryConfig dict;
+    dict.n_nodes = 4;
+    dict.notify_delay = 1000000; // never applies within the test
+    DiCompCodec codec(dict);
+    Rng rng(133);
+    Cycle t = 0;
+    for (int i = 0; i < 500; ++i) {
+        std::vector<Word> ws(8);
+        for (auto &w : ws)
+            w = rng.chance(0.7) ? 0x42u : static_cast<Word>(rng.bits());
+        DataBlock b(ws, DataType::Int32, false);
+        DataBlock out = codec.decode(codec.encode(b, 0, 1, t), 0, 1, t);
+        ASSERT_TRUE(out.sameBits(b));
+        t += 5;
+    }
+    EXPECT_EQ(codec.consistencyMismatches(), 0u);
+}
+
+TEST(FaultInjection, AllSpecialFloatBlockSurvivesEveryScheme)
+{
+    std::vector<Word> specials = {0x7F800000, 0xFF800000, 0x7FC00000,
+                                  0x00000000, 0x80000000, 0x00000001,
+                                  0x7FFFFFFF, 0xFFC00001};
+    specials.resize(16, 0x7FC00000);
+    DataBlock b(specials, DataType::Float32, true);
+    for (Scheme s : kAllSchemes) {
+        CodecConfig cc;
+        cc.n_nodes = 4;
+        cc.error_threshold_pct = 20.0;
+        auto codec = make_codec(s, cc);
+        Cycle t = 0;
+        for (int i = 0; i < 5; ++i) {
+            DataBlock out = codec->decode(codec->encode(b, 0, 1, t), 0, 1, t);
+            ASSERT_TRUE(out.sameBits(b)) << to_string(s);
+            t += 60;
+        }
+    }
+}
+
+TEST(FaultInjection, EmptyAndSingleWordBlocks)
+{
+    for (Scheme s : kAllSchemes) {
+        CodecConfig cc;
+        cc.n_nodes = 4;
+        auto codec = make_codec(s, cc);
+        DataBlock empty(0, DataType::Int32, true);
+        EncodedBlock e0 = codec->encode(empty, 0, 1, 0);
+        EXPECT_EQ(e0.bits(), 0u) << to_string(s);
+        EXPECT_EQ(codec->decode(e0, 0, 1, 0).size(), 0u);
+
+        DataBlock one({0xFFFFFFFF}, DataType::Int32, true);
+        DataBlock out = codec->decode(codec->encode(one, 0, 1, 0), 0, 1, 0);
+        ASSERT_EQ(out.size(), 1u) << to_string(s);
+    }
+}
+
+TEST(FaultInjection, BurstToSingleVictimDrains)
+{
+    // Every node floods one victim simultaneously: the ejection port
+    // serializes, queues grow, but everything must still drain.
+    NocConfig cfg;
+    CodecConfig cc;
+    cc.n_nodes = cfg.nodes();
+    auto codec = make_codec(Scheme::FpVaxx, cc);
+    Network net(cfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+    DataBlock blk(std::vector<Word>(16, 7), DataType::Int32, true);
+    for (NodeId src = 1; src < cfg.nodes(); ++src)
+        for (int k = 0; k < 20; ++k)
+            net.inject(net.makeDataPacket(src, 0, blk), 0);
+    ASSERT_TRUE(sim.runUntil([&] { return net.drained(); }, 500000));
+    EXPECT_EQ(net.stats().packets_delivered.value(), 31u * 20u);
+}

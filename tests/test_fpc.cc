@@ -1,0 +1,236 @@
+/**
+ * FPC unit + property tests: exact pattern matching, decode round-trip,
+ * and the don't-care solver checked against brute force for small k.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "compression/fpc.h"
+
+using namespace approxnoc;
+
+namespace {
+
+/** Does @p w match pattern @p p exactly (reference predicate)? */
+bool
+matches_exact(FpcPattern p, Word w)
+{
+    switch (p) {
+      case FpcPattern::ZeroRun:
+        return w == 0;
+      case FpcPattern::Sign4:
+        return sign_extend32(w & 0xF, 4) == w;
+      case FpcPattern::Sign8:
+        return sign_extend32(w & 0xFF, 8) == w;
+      case FpcPattern::Sign16:
+        return sign_extend32(w & 0xFFFF, 16) == w;
+      case FpcPattern::HalfPadded:
+        return (w & 0xFFFF) == 0;
+      case FpcPattern::TwoHalfSign8: {
+        std::uint32_t lo = w & 0xFFFF, hi = w >> 16;
+        return (sign_extend32(lo & 0xFF, 8) & 0xFFFF) == lo &&
+               (sign_extend32(hi & 0xFF, 8) & 0xFFFF) == hi;
+      }
+      case FpcPattern::Uncompressed:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Fpc, DataBitsMatchFigure5)
+{
+    EXPECT_EQ(fpc_data_bits(FpcPattern::ZeroRun), 3u);
+    EXPECT_EQ(fpc_data_bits(FpcPattern::Sign4), 4u);
+    EXPECT_EQ(fpc_data_bits(FpcPattern::Sign8), 8u);
+    EXPECT_EQ(fpc_data_bits(FpcPattern::Sign16), 16u);
+    EXPECT_EQ(fpc_data_bits(FpcPattern::HalfPadded), 16u);
+    EXPECT_EQ(fpc_data_bits(FpcPattern::TwoHalfSign8), 16u);
+    EXPECT_EQ(fpc_data_bits(FpcPattern::Uncompressed), 32u);
+}
+
+TEST(Fpc, ExactMatchesKnownValues)
+{
+    auto m = fpc_match(0, 0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pattern, FpcPattern::ZeroRun);
+
+    m = fpc_match(7, 0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pattern, FpcPattern::Sign4);
+    EXPECT_EQ(m->candidate, 7u);
+
+    m = fpc_match(static_cast<Word>(-8), 0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pattern, FpcPattern::Sign4);
+
+    m = fpc_match(100, 0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pattern, FpcPattern::Sign8);
+
+    m = fpc_match(30000, 0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pattern, FpcPattern::Sign16);
+
+    m = fpc_match(0x12340000, 0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pattern, FpcPattern::HalfPadded);
+
+    m = fpc_match(0x00450023, 0);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pattern, FpcPattern::TwoHalfSign8);
+
+    EXPECT_FALSE(fpc_match(0x12345678, 0));
+    EXPECT_FALSE(fpc_match(0xDEADBEEF, 0));
+}
+
+TEST(Fpc, DecodeRoundTripExact)
+{
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        Word w = static_cast<Word>(rng.bits());
+        auto m = fpc_match(w, 0);
+        if (!m)
+            continue;
+        EXPECT_EQ(m->candidate, w) << "exact match must not alter value";
+        EXPECT_EQ(fpc_decode(m->pattern, m->payload), w);
+    }
+}
+
+TEST(Fpc, ExactMatchAgreesWithReferencePredicate)
+{
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        Word w = static_cast<Word>(rng.bits());
+        // Bias towards small magnitudes so every pattern is exercised.
+        if (i % 3 == 0)
+            w = sign_extend32(w & 0xFFF, 12);
+        if (i % 5 == 0)
+            w &= 0xFFFF0000;
+        for (FpcPattern p :
+             {FpcPattern::ZeroRun, FpcPattern::Sign4, FpcPattern::Sign8,
+              FpcPattern::Sign16, FpcPattern::HalfPadded,
+              FpcPattern::TwoHalfSign8}) {
+            auto m = fpc_try_pattern(p, w, 0);
+            EXPECT_EQ(m.has_value(), matches_exact(p, w))
+                << "pattern " << to_string(p) << " word " << std::hex << w;
+            if (m) {
+                EXPECT_EQ(fpc_decode(p, m->payload), w);
+            }
+        }
+    }
+}
+
+/** Brute force: does any candidate differing only in low k bits match? */
+static std::optional<Word>
+brute_force(FpcPattern p, Word w, unsigned k)
+{
+    Word mask = low_mask32(k);
+    for (Word low = 0; low <= mask; ++low) {
+        Word c = (w & ~mask) | low;
+        if (matches_exact(p, c))
+            return c;
+        if (mask == 0xFFFFFFFFu)
+            break;
+    }
+    return std::nullopt;
+}
+
+TEST(Fpc, ApproximateSolverMatchesBruteForce)
+{
+    Rng rng(13);
+    for (int i = 0; i < 4000; ++i) {
+        Word w = static_cast<Word>(rng.bits());
+        if (i % 2 == 0)
+            w = sign_extend32(w & 0x3FFFF, 18);
+        unsigned k = static_cast<unsigned>(rng.next(9)); // 0..8 feasible
+        for (FpcPattern p :
+             {FpcPattern::ZeroRun, FpcPattern::Sign4, FpcPattern::Sign8,
+              FpcPattern::Sign16, FpcPattern::HalfPadded,
+              FpcPattern::TwoHalfSign8}) {
+            auto solved = fpc_try_pattern(p, w, k);
+            auto brute = brute_force(p, w, k);
+            EXPECT_EQ(solved.has_value(), brute.has_value())
+                << to_string(p) << " w=" << std::hex << w << " k=" << k;
+            if (solved) {
+                // Candidate only differs in the low k bits...
+                EXPECT_EQ(solved->candidate & ~low_mask32(k),
+                          w & ~low_mask32(k));
+                // ...and itself matches the pattern exactly.
+                EXPECT_TRUE(matches_exact(p, solved->candidate));
+                EXPECT_EQ(fpc_decode(p, solved->payload), solved->candidate);
+            }
+        }
+    }
+}
+
+TEST(Fpc, ApproximateMatchKeepsUnmaskedBits)
+{
+    // 0x1C with 2 don't-care bits can reach the Sign4 window [-8, 7]?
+    // No: high bits 0x1C >> 2 = 0x7 are nonzero beyond bit 3.
+    EXPECT_FALSE(fpc_try_pattern(FpcPattern::Sign4, 0x1C, 2));
+    // With k=5 bits free the value can become 0..15 -> matches.
+    auto m = fpc_try_pattern(FpcPattern::Sign4, 0x1C, 5);
+    ASSERT_TRUE(m);
+    EXPECT_TRUE(matches_exact(FpcPattern::Sign4, m->candidate));
+}
+
+TEST(Fpc, ZeroRunMerging)
+{
+    DataBlock b({0, 0, 0, 5, 0, 0}, DataType::Int32, false);
+    FpcCodec codec;
+    EncodedBlock enc = codec.encode(b, 0, 1, 0);
+    // run(3 zeros), 5, run(2 zeros)
+    ASSERT_EQ(enc.words().size(), 3u);
+    EXPECT_EQ(enc.words()[0].run, 3u);
+    EXPECT_EQ(enc.words()[1].run, 1u);
+    EXPECT_EQ(enc.words()[2].run, 2u);
+    EXPECT_EQ(enc.wordCount(), 6u);
+
+    DataBlock out = codec.decode(enc, 0, 1, 0);
+    EXPECT_TRUE(out.sameBits(b));
+    EXPECT_EQ(codec.consistencyMismatches(), 0u);
+}
+
+TEST(Fpc, ZeroRunCapsAtEight)
+{
+    DataBlock b(std::vector<Word>(20, 0), DataType::Int32, false);
+    FpcCodec codec;
+    EncodedBlock enc = codec.encode(b, 0, 1, 0);
+    ASSERT_EQ(enc.words().size(), 3u); // 8 + 8 + 4
+    EXPECT_EQ(enc.words()[0].run, 8u);
+    EXPECT_EQ(enc.words()[1].run, 8u);
+    EXPECT_EQ(enc.words()[2].run, 4u);
+}
+
+TEST(Fpc, CompressionNeverLoses)
+{
+    Rng rng(17);
+    FpcCodec codec;
+    for (int i = 0; i < 500; ++i) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws)
+            w = static_cast<Word>(rng.bits());
+        DataBlock b(ws, DataType::Raw, false);
+        EncodedBlock enc = codec.encode(b, 0, 1, 0);
+        // Worst case: every word uncompressed = 35 bits/word.
+        EXPECT_LE(enc.bits(), 16u * 35u);
+        DataBlock out = codec.decode(enc, 0, 1, 0);
+        EXPECT_TRUE(out.sameBits(b));
+    }
+    EXPECT_EQ(codec.consistencyMismatches(), 0u);
+}
+
+TEST(Fpc, CompressesCompressibleData)
+{
+    // Small integers compress to 3+4 or 3+8 bits/word.
+    std::vector<Word> ws;
+    for (int i = -8; i < 8; ++i)
+        ws.push_back(static_cast<Word>(i));
+    DataBlock b(ws, DataType::Int32, false);
+    FpcCodec codec;
+    EncodedBlock enc = codec.encode(b, 0, 1, 0);
+    EXPECT_LT(enc.bits(), b.sizeBits() / 3);
+}

@@ -1,0 +1,132 @@
+/**
+ * Cross-feature integration: extension codecs plugged into the full
+ * network, invalid configuration rejection, and end-to-end stat
+ * coherence across traffic modes.
+ */
+#include <gtest/gtest.h>
+
+#include "approx/window_vaxx.h"
+#include "compression/adaptive.h"
+#include "core/codec_factory.h"
+#include "noc/network.h"
+#include "noc/qos_loop.h"
+#include "sim/simulator.h"
+#include "traffic/closed_loop.h"
+#include "traffic/data_provider.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+
+namespace {
+
+void
+run_traffic(Network &net, Simulator &sim, double rate, Cycle cycles,
+            DataType type = DataType::Int32)
+{
+    SyntheticConfig tc;
+    tc.injection_rate = rate;
+    tc.data_packet_ratio = 0.5;
+    SyntheticDataProvider provider(type, 16, 0.9, 3.0, 7, 0.7, 8);
+    SyntheticTraffic gen(net, tc, provider);
+    sim.add(&gen);
+    sim.run(cycles);
+    gen.setEnabled(false);
+    ASSERT_TRUE(sim.runUntil([&] { return net.drained(); }, 300000));
+}
+
+} // namespace
+
+TEST(Integration, WindowVaxxDrivesTheNetwork)
+{
+    NocConfig cfg;
+    WindowVaxxCodec codec{ErrorModel(10.0)};
+    Network net(cfg, &codec);
+    Simulator sim;
+    net.attach(sim);
+    run_traffic(net, sim, 0.15, 15000, DataType::Float32);
+    EXPECT_GT(net.stats().packets_delivered.value(), 1000u);
+    EXPECT_EQ(codec.consistencyMismatches(), 0u);
+    EXPECT_GT(net.stats().quality.compressionRatio(), 1.0);
+    EXPECT_LE(net.stats().quality.meanRelativeError(), 0.10);
+}
+
+TEST(Integration, AdaptiveWrappedDictionaryDrivesTheNetwork)
+{
+    NocConfig cfg;
+    CodecConfig cc;
+    cc.n_nodes = cfg.nodes();
+    AdaptiveConfig acfg;
+    acfg.n_nodes = cfg.nodes();
+    AdaptiveCodec codec(make_codec(Scheme::DiVaxx, cc), acfg);
+    Network net(cfg, &codec);
+    Simulator sim;
+    net.attach(sim);
+    run_traffic(net, sim, 0.15, 15000);
+    EXPECT_GT(net.stats().packets_delivered.value(), 1000u);
+    EXPECT_EQ(codec.consistencyMismatches(), 0u);
+}
+
+TEST(Integration, QosLoopOnTorusWithClosedLoopTraffic)
+{
+    NocConfig cfg;
+    cfg.topology = Topology::Torus;
+    CodecConfig cc;
+    cc.n_nodes = cfg.nodes();
+    cc.error_threshold_pct = 20.0;
+    auto codec = make_codec(Scheme::FpVaxx, cc);
+    Network net(cfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    ClosedLoopConfig lc;
+    lc.window = 4;
+    SyntheticDataProvider provider(DataType::Float32, 16, 0.9, 3.0, 7,
+                                   0.7, 8);
+    ClosedLoopTraffic gen(net, lc, provider);
+    sim.add(&gen);
+    ErrorControlLoop loop(net, QosController(0.1, 20.0), 1000);
+    sim.add(&loop);
+
+    sim.run(25000);
+    gen.setEnabled(false);
+    ASSERT_TRUE(sim.runUntil(
+        [&] { return gen.quiesced() && net.drained(); }, 300000));
+    EXPECT_GT(gen.repliesReceived(), 1000u);
+    EXPECT_EQ(codec->consistencyMismatches(), 0u);
+}
+
+TEST(Integration, WestFirstTorusComboDies)
+{
+    NocConfig cfg;
+    cfg.topology = Topology::Torus;
+    cfg.routing = RoutingAlgo::WestFirst;
+    CodecConfig cc;
+    cc.n_nodes = cfg.nodes();
+    auto codec = make_codec(Scheme::Baseline, cc);
+    EXPECT_DEATH({ Network net(cfg, codec.get()); },
+                 "only valid on a mesh");
+}
+
+TEST(Integration, StatsResetStartsCleanWindow)
+{
+    NocConfig cfg;
+    CodecConfig cc;
+    cc.n_nodes = cfg.nodes();
+    auto codec = make_codec(Scheme::FpComp, cc);
+    Network net(cfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    SyntheticConfig tc;
+    tc.injection_rate = 0.1;
+    SyntheticDataProvider provider(DataType::Int32);
+    SyntheticTraffic gen(net, tc, provider);
+    sim.add(&gen);
+    sim.run(5000);
+    EXPECT_GT(net.stats().packets_delivered.value(), 0u);
+    net.stats().reset();
+    EXPECT_EQ(net.stats().packets_delivered.value(), 0u);
+    EXPECT_EQ(net.stats().total_lat.count(), 0u);
+    sim.run(5000);
+    EXPECT_GT(net.stats().packets_delivered.value(), 0u);
+}

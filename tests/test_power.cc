@@ -1,0 +1,94 @@
+/** Power and area model tests. */
+#include <gtest/gtest.h>
+
+#include "core/codec_factory.h"
+#include "noc/network.h"
+#include "power/area_model.h"
+#include "power/power_model.h"
+#include "sim/simulator.h"
+#include "traffic/data_provider.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+
+namespace {
+
+double
+run_power(Scheme s)
+{
+    NocConfig cfg;
+    CodecConfig cc;
+    cc.n_nodes = cfg.nodes();
+    auto codec = make_codec(s, cc);
+    Network net(cfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+    SyntheticConfig tc;
+    tc.injection_rate = 0.1;
+    tc.data_packet_ratio = 0.5;
+    SyntheticDataProvider provider(DataType::Int32, 16, 0.95, 2.0, 3, 0.85,
+                                   8);
+    SyntheticTraffic gen(net, tc, provider);
+    sim.add(&gen);
+    sim.run(20000);
+    gen.setEnabled(false);
+    sim.runUntil([&] { return net.drained(); }, 100000);
+    PowerModel pm;
+    return pm.dynamicPowerMw(net, sim.now());
+}
+
+} // namespace
+
+TEST(Power, EnergyIsPositiveUnderTraffic)
+{
+    double mw = run_power(Scheme::Baseline);
+    EXPECT_GT(mw, 0.0);
+}
+
+TEST(Power, CompressionReducesDynamicPower)
+{
+    // Fewer flits means less router/link energy; the codec overhead is
+    // small (paper Fig. 15: FP-VAXX ~5% below Baseline).
+    double base = run_power(Scheme::Baseline);
+    double fpvaxx = run_power(Scheme::FpVaxx);
+    EXPECT_LT(fpvaxx, base);
+    EXPECT_GT(fpvaxx, base * 0.5) << "savings should be moderate";
+}
+
+TEST(Power, StaticPowerScalesWithRouters)
+{
+    NocConfig cfg;
+    CodecConfig cc;
+    cc.n_nodes = cfg.nodes();
+    auto codec = make_codec(Scheme::Baseline, cc);
+    Network net(cfg, codec.get());
+    PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.staticPowerMw(net),
+                     pm.params().static_power_mw_per_router * 16);
+}
+
+TEST(Area, MatchesPaperBallpark)
+{
+    DictionaryConfig dict; // 8-entry PMTs
+    // Paper Sec. 5.5 at 45 nm: DI-VAXX 0.0037 mm^2, FP-VAXX 0.0029 mm^2
+    // per NI. Our analytical model should land within ~25%.
+    double di = encoder_area_mm2(Scheme::DiVaxx, dict, 32);
+    double fp = encoder_area_mm2(Scheme::FpVaxx, dict, 32);
+    EXPECT_NEAR(di, 0.0037, 0.0037 * 0.25);
+    EXPECT_NEAR(fp, 0.0029, 0.0029 * 0.25);
+}
+
+TEST(Area, OrderingAcrossSchemes)
+{
+    DictionaryConfig dict;
+    double base = encoder_area_mm2(Scheme::Baseline, dict, 32);
+    double fp = encoder_area_mm2(Scheme::FpComp, dict, 32);
+    double fpv = encoder_area_mm2(Scheme::FpVaxx, dict, 32);
+    double di = encoder_area_mm2(Scheme::DiComp, dict, 32);
+    double div = encoder_area_mm2(Scheme::DiVaxx, dict, 32);
+    EXPECT_EQ(base, 0.0);
+    EXPECT_LT(fp, fpv);
+    EXPECT_LT(di, div);
+    EXPECT_GT(fpv, 0.0);
+    EXPECT_GT(div, fpv) << "per-destination original store dominates";
+}

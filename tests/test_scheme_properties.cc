@@ -1,0 +1,167 @@
+/**
+ * Cross-scheme property sweep: the DESIGN.md invariants checked for
+ * every (scheme, threshold, data type) combination on randomized,
+ * value-local block streams.
+ *
+ *  1. decode(encode(x)) == x bit-exactly for non-approximable blocks;
+ *  2. every approximated word stays within the shift-mode error bound
+ *     e / (100 - e);
+ *  3. compression never expands a block;
+ *  4. the encoder's expectation always matches the decoder's view
+ *     (consistencyMismatches == 0);
+ *  5. bit accounting is internally consistent (word counts, fractions).
+ */
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/codec_factory.h"
+
+using namespace approxnoc;
+
+namespace {
+
+using Combo = std::tuple<Scheme, double, DataType>;
+
+std::string
+combo_name(const ::testing::TestParamInfo<Combo> &info)
+{
+    auto [scheme, threshold, type] = info.param;
+    std::string s = to_string(scheme) + "_t" +
+                    std::to_string(static_cast<int>(threshold)) + "_" +
+                    to_string(type);
+    for (auto &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+/** Value-local stream mixing exact repeats, near values and noise. */
+DataBlock
+make_block(Rng &rng, DataType type, const std::vector<Word> &hot,
+           bool approximable)
+{
+    std::vector<Word> ws(16);
+    for (auto &w : ws) {
+        double roll = rng.uniform();
+        if (roll < 0.35) {
+            w = hot[rng.next(hot.size())];
+        } else if (roll < 0.6) {
+            Word base = hot[rng.next(hot.size())];
+            w = base ^ static_cast<Word>(rng.next(1u << 6));
+        } else if (roll < 0.75) {
+            w = 0;
+        } else {
+            w = static_cast<Word>(rng.bits());
+            if (type == DataType::Float32)
+                w = (w & 0x7FFFFFFF) | 0x20000000; // keep it normal-ish
+        }
+    }
+    return DataBlock(std::move(ws), type, approximable);
+}
+
+} // namespace
+
+class SchemeProperties : public ::testing::TestWithParam<Combo>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto [scheme, threshold, type] = GetParam();
+        scheme_ = scheme;
+        threshold_ = threshold;
+        type_ = type;
+        CodecConfig cc;
+        cc.n_nodes = 8;
+        cc.error_threshold_pct = threshold;
+        codec_ = make_codec(scheme, cc);
+
+        Rng seeder(static_cast<std::uint64_t>(threshold * 7 + 3));
+        for (int i = 0; i < 6; ++i) {
+            Word w = type_ == DataType::Float32
+                         ? (0x3F800000u +
+                            static_cast<Word>(seeder.next(1u << 22)))
+                         : static_cast<Word>(seeder.range(500, 5000000));
+            hot_.push_back(w);
+        }
+    }
+
+    Scheme scheme_;
+    double threshold_;
+    DataType type_;
+    std::unique_ptr<CodecSystem> codec_;
+    std::vector<Word> hot_;
+};
+
+TEST_P(SchemeProperties, InvariantsHoldOverRandomStream)
+{
+    Rng rng(991);
+    const double bound =
+        threshold_ > 0 ? threshold_ / (100.0 - threshold_) + 1e-9 : 0.0;
+    Cycle t = 0;
+
+    for (int i = 0; i < 1500; ++i) {
+        bool approximable = rng.chance(0.75);
+        DataBlock b = make_block(rng, type_, hot_, approximable);
+        NodeId src = static_cast<NodeId>(rng.next(8));
+        NodeId dst = static_cast<NodeId>(rng.next(8));
+        if (src == dst)
+            continue;
+
+        EncodedBlock enc = codec_->encode(b, src, dst, t);
+        DataBlock out = codec_->decode(enc, src, dst, t);
+        t += static_cast<Cycle>(rng.next(40));
+
+        // (5) accounting.
+        ASSERT_EQ(enc.wordCount(), b.size());
+        ASSERT_EQ(out.size(), b.size());
+        ASSERT_EQ(enc.exactCompressedWords() + enc.approximatedWords() +
+                      enc.uncompressedWords(),
+                  b.size());
+
+        // (3) no expansion.
+        ASSERT_LE(enc.bits(), b.sizeBits());
+
+        if (!approximable || scheme_ == Scheme::Baseline ||
+            scheme_ == Scheme::DiComp || scheme_ == Scheme::FpComp) {
+            // (1) exactness.
+            ASSERT_TRUE(out.sameBits(b))
+                << "lossless path altered data, block " << i;
+            ASSERT_EQ(enc.approximatedWords(), 0u);
+        } else {
+            // (2) error bound per word.
+            for (std::size_t j = 0; j < b.size(); ++j) {
+                if (b.word(j) == out.word(j))
+                    continue;
+                double p, a;
+                if (type_ == DataType::Float32) {
+                    p = b.floatAt(j);
+                    a = out.floatAt(j);
+                } else {
+                    p = b.intAt(j);
+                    a = out.intAt(j);
+                }
+                ASSERT_NE(p, 0.0) << "zero words must stay exact";
+                ASSERT_TRUE(std::isfinite(p) && std::isfinite(a))
+                    << "specials must stay exact";
+                ASSERT_LE(std::fabs(a - p), std::fabs(p) * bound)
+                    << "word " << j << ": " << p << " -> " << a;
+            }
+        }
+    }
+    // (4) consistency.
+    EXPECT_EQ(codec_->consistencyMismatches(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SchemeProperties,
+    ::testing::Combine(::testing::Values(Scheme::Baseline, Scheme::DiComp,
+                                         Scheme::DiVaxx, Scheme::FpComp,
+                                         Scheme::FpVaxx),
+                       ::testing::Values(0.0, 5.0, 10.0, 20.0),
+                       ::testing::Values(DataType::Int32,
+                                         DataType::Float32)),
+    combo_name);

@@ -1,0 +1,117 @@
+/** Simulation kernel tests: event queue ordering, two-phase stepping. */
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+using namespace approxnoc;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(10, [&](Cycle) { fired.push_back(2); });
+    q.schedule(5, [&](Cycle) { fired.push_back(1); });
+    q.schedule(20, [&](Cycle) { fired.push_back(3); });
+
+    q.runUntil(4);
+    EXPECT_TRUE(fired.empty());
+    q.runUntil(10);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    q.runUntil(100);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&fired, i](Cycle) { fired.push_back(i); });
+    q.runUntil(7);
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), kNeverCycle);
+    q.schedule(42, [](Cycle) {});
+    EXPECT_EQ(q.nextEventCycle(), 42u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&](Cycle now) {
+        ++count;
+        q.scheduleAfter(now, 1, [&](Cycle) { ++count; });
+    });
+    q.runUntil(1);
+    EXPECT_EQ(count, 1);
+    q.runUntil(2);
+    EXPECT_EQ(count, 2);
+}
+
+namespace {
+
+/** Records the phase interleaving across two components. */
+class PhaseProbe : public Clocked
+{
+  public:
+    PhaseProbe(std::vector<std::string> &log, std::string tag)
+        : Clocked("probe" + tag), log_(log), tag_(std::move(tag))
+    {}
+    void evaluate(Cycle) override { log_.push_back("e" + tag_); }
+    void advance(Cycle) override { log_.push_back("a" + tag_); }
+
+  private:
+    std::vector<std::string> &log_;
+    std::string tag_;
+};
+
+} // namespace
+
+TEST(Simulator, TwoPhaseOrdering)
+{
+    Simulator sim;
+    std::vector<std::string> log;
+    PhaseProbe p1(log, "1"), p2(log, "2");
+    sim.add(&p1);
+    sim.add(&p2);
+    sim.step();
+    EXPECT_EQ(log, (std::vector<std::string>{"e1", "e2", "a1", "a2"}))
+        << "all evaluates must precede all advances";
+    EXPECT_EQ(sim.now(), 1u);
+}
+
+TEST(Simulator, RunCounts)
+{
+    Simulator sim;
+    sim.run(100);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunUntilPredicate)
+{
+    Simulator sim;
+    bool ok = sim.runUntil([&] { return sim.now() >= 10; }, 1000);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(sim.now(), 10u);
+    ok = sim.runUntil([] { return false; }, 5);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Simulator, EventsFireBeforeComponents)
+{
+    Simulator sim;
+    std::vector<std::string> log;
+    PhaseProbe p(log, "c");
+    sim.add(&p);
+    sim.events().schedule(0, [&](Cycle) { log.push_back("ev"); });
+    sim.step();
+    ASSERT_GE(log.size(), 1u);
+    EXPECT_EQ(log[0], "ev");
+}

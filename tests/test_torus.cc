@@ -1,0 +1,167 @@
+/** Torus topology: wrap routing, dateline VCs, deadlock freedom. */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/codec_factory.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+#include "traffic/data_provider.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+
+namespace {
+
+struct Rig {
+    NocConfig cfg;
+    std::unique_ptr<CodecSystem> codec;
+    std::unique_ptr<Network> net;
+    Simulator sim;
+
+    explicit Rig(NocConfig c)
+        : cfg(c)
+    {
+        CodecConfig cc;
+        cc.n_nodes = cfg.nodes();
+        codec = make_codec(Scheme::Baseline, cc);
+        net = std::make_unique<Network>(cfg, codec.get());
+        net->attach(sim);
+    }
+};
+
+NocConfig
+torus()
+{
+    NocConfig cfg;
+    cfg.topology = Topology::Torus;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Torus, WrapLinksShortenCornerToCorner)
+{
+    Rig t(torus());
+    auto p = t.net->makeControlPacket(0, 30); // router 0 -> router 15
+    t.net->inject(p, 0);
+    ASSERT_TRUE(t.sim.runUntil([&] { return t.net->drained(); }, 10000));
+    // One west wrap + one north wrap + ejection router = 3 routers.
+    EXPECT_EQ(p->netLatency(), 3u * 3u);
+
+    Rig m{NocConfig{}};
+    auto q = m.net->makeControlPacket(0, 30);
+    m.net->inject(q, 0);
+    ASSERT_TRUE(m.sim.runUntil([&] { return m.net->drained(); }, 10000));
+    EXPECT_EQ(q->netLatency(), 7u * 3u);
+    EXPECT_LT(p->netLatency(), q->netLatency());
+}
+
+TEST(Torus, ShortestDirectionIsChosen)
+{
+    Rig t(torus());
+    // Router 0 -> router 2 (distance 2 either way on a 4-ring): the
+    // tie goes East; router 0 -> router 3 goes West via the wrap.
+    auto near = t.net->makeControlPacket(0, 6);  // router 3
+    t.net->inject(near, 0);
+    ASSERT_TRUE(t.sim.runUntil([&] { return t.net->drained(); }, 10000));
+    EXPECT_EQ(near->netLatency(), 2u * 3u) << "one wrap hop + ejection";
+}
+
+TEST(Torus, UniformRandomStress)
+{
+    Rig t(torus());
+    SyntheticConfig tc;
+    tc.injection_rate = 0.35;
+    SyntheticDataProvider provider(DataType::Int32);
+    SyntheticTraffic gen(*t.net, tc, provider);
+    t.sim.add(&gen);
+    t.sim.run(30000); // watchdog panics on deadlock
+    gen.setEnabled(false);
+    ASSERT_TRUE(t.sim.runUntil([&] { return t.net->drained(); }, 300000));
+    std::uint64_t injected = 0, delivered = 0;
+    for (NodeId n = 0; n < t.cfg.nodes(); ++n) {
+        injected += t.net->ni(n).packetsInjected();
+        delivered += t.net->ni(n).packetsDelivered();
+    }
+    EXPECT_EQ(injected, delivered);
+}
+
+TEST(Torus, HotspotAndTransposeStress)
+{
+    for (TrafficPattern pat :
+         {TrafficPattern::Hotspot, TrafficPattern::Transpose,
+          TrafficPattern::BitComplement}) {
+        Rig t(torus());
+        SyntheticConfig tc;
+        tc.injection_rate = 0.3;
+        tc.pattern = pat;
+        tc.data_packet_ratio = 0.4;
+        SyntheticDataProvider provider(DataType::Float32);
+        SyntheticTraffic gen(*t.net, tc, provider);
+        t.sim.add(&gen);
+        t.sim.run(20000);
+        gen.setEnabled(false);
+        ASSERT_TRUE(
+            t.sim.runUntil([&] { return t.net->drained(); }, 300000))
+            << to_string(pat);
+    }
+}
+
+TEST(Torus, LowerMeanHopsThanMesh)
+{
+    auto run = [](Topology topo) {
+        NocConfig cfg;
+        cfg.topology = topo;
+        Rig r(cfg);
+        SyntheticConfig tc;
+        tc.injection_rate = 0.1;
+        tc.seed = 17;
+        SyntheticDataProvider provider(DataType::Int32);
+        SyntheticTraffic gen(*r.net, tc, provider);
+        r.sim.add(&gen);
+        r.sim.run(10000);
+        gen.setEnabled(false);
+        r.sim.runUntil([&] { return r.net->drained(); }, 100000);
+        return r.net->stats().hops.mean();
+    };
+    EXPECT_LT(run(Topology::Torus), run(Topology::Mesh));
+}
+
+TEST(Torus, WithCompressionSchemes)
+{
+    for (Scheme s : {Scheme::DiVaxx, Scheme::FpVaxx}) {
+        NocConfig cfg = torus();
+        CodecConfig cc;
+        cc.n_nodes = cfg.nodes();
+        auto codec = make_codec(s, cc);
+        Network net(cfg, codec.get());
+        Simulator sim;
+        net.attach(sim);
+        SyntheticConfig tc;
+        tc.injection_rate = 0.2;
+        SyntheticDataProvider provider(DataType::Int32, 16, 0.9, 3.0, 7,
+                                       0.7, 8);
+        SyntheticTraffic gen(net, tc, provider);
+        sim.add(&gen);
+        sim.run(15000);
+        gen.setEnabled(false);
+        ASSERT_TRUE(sim.runUntil([&] { return net.drained(); }, 200000))
+            << to_string(s);
+        EXPECT_EQ(net.codec().consistencyMismatches(), 0u);
+    }
+}
+
+TEST(Torus, TwoVcMinimumWorks)
+{
+    NocConfig cfg = torus();
+    cfg.vcs = 2; // one VC per dateline class
+    Rig t(cfg);
+    SyntheticConfig tc;
+    tc.injection_rate = 0.15;
+    SyntheticDataProvider provider(DataType::Int32);
+    SyntheticTraffic gen(*t.net, tc, provider);
+    t.sim.add(&gen);
+    t.sim.run(20000);
+    gen.setEnabled(false);
+    ASSERT_TRUE(t.sim.runUntil([&] { return t.net->drained(); }, 300000));
+}

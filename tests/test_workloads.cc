@@ -1,0 +1,206 @@
+/**
+ * Workload kernel tests: determinism, precise-vs-approximate output
+ * error bounds, and kernel-specific sanity checks.
+ */
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/codec_factory.h"
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+using namespace approxnoc;
+
+namespace {
+
+CacheConfig
+paper_cache()
+{
+    // Sec. 5.4: 16 cores, 64 KB 2-way L1, 64 B lines.
+    return CacheConfig{};
+}
+
+WorkloadResult
+run_with(const std::string &name, Scheme scheme, double threshold)
+{
+    CacheConfig cfg = paper_cache();
+    CodecConfig cc;
+    cc.n_nodes = cfg.n_nodes;
+    cc.error_threshold_pct = threshold;
+    auto codec = make_codec(scheme, cc);
+    ApproxCacheSystem mem(cfg, codec.get());
+    auto wl = make_workload(name);
+    return wl->run(mem);
+}
+
+} // namespace
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadSuite, PreciseRunIsDeterministic)
+{
+    auto a = run_with(GetParam(), Scheme::Baseline, 0.0);
+    auto b = run_with(GetParam(), Scheme::Baseline, 0.0);
+    ASSERT_EQ(a.output.size(), b.output.size());
+    for (std::size_t i = 0; i < a.output.size(); ++i)
+        ASSERT_EQ(a.output[i], b.output[i]) << GetParam() << " idx " << i;
+    EXPECT_FALSE(a.output.empty());
+    EXPECT_GT(a.exec_cycles, 0u);
+    EXPECT_GT(a.miss_rate, 0.0);
+}
+
+TEST_P(WorkloadSuite, ExactCompressionPreservesOutput)
+{
+    auto precise = run_with(GetParam(), Scheme::Baseline, 0.0);
+    auto fp = run_with(GetParam(), Scheme::FpComp, 0.0);
+    auto wl = make_workload(GetParam());
+    EXPECT_DOUBLE_EQ(wl->outputError(precise, fp), 0.0) << GetParam();
+}
+
+TEST_P(WorkloadSuite, ApproximationErrorIsBounded)
+{
+    auto precise = run_with(GetParam(), Scheme::Baseline, 0.0);
+    auto wl = make_workload(GetParam());
+    for (Scheme s : {Scheme::FpVaxx, Scheme::DiVaxx}) {
+        auto approx = run_with(GetParam(), s, 10.0);
+        double err = wl->outputError(precise, approx);
+        EXPECT_GE(err, 0.0);
+        // Generous ceiling: the paper reports <~10% for every benchmark
+        // at 10% data error except streamcluster.
+        double ceiling = GetParam() == "streamcluster" ? 0.60 : 0.25;
+        EXPECT_LE(err, ceiling) << GetParam() << " under " << to_string(s);
+    }
+}
+
+TEST_P(WorkloadSuite, CompressionSpeedsUpExecution)
+{
+    auto base = run_with(GetParam(), Scheme::Baseline, 0.0);
+    auto fpvaxx = run_with(GetParam(), Scheme::FpVaxx, 10.0);
+    // Smaller responses must not slow the run down by more than the
+    // codec pipeline overhead (a few cycles per miss).
+    EXPECT_LT(fpvaxx.exec_cycles,
+              base.exec_cycles + base.exec_cycles / 10)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuite,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadFactory, KnowsAllNames)
+{
+    EXPECT_EQ(workload_names().size(), 8u);
+    for (const auto &n : workload_names())
+        EXPECT_EQ(make_workload(n)->name(), n);
+}
+
+TEST(MeanRelativeError, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean_relative_output_error({1, 2}, {1, 2}), 0.0);
+    EXPECT_NEAR(mean_relative_output_error({100, 100}, {110, 100}), 0.05,
+                1e-12);
+    EXPECT_DOUBLE_EQ(mean_relative_output_error({0}, {1}), 1.0);
+}
+
+TEST(Bodytrack, TracksTheBlob)
+{
+    auto r = run_with("bodytrack", Scheme::Baseline, 0.0);
+    BodytrackWorkload wl;
+    ASSERT_EQ(r.output.size(), 2u * wl.frames());
+    // The tracker should follow the ground-truth sweep within a few
+    // pixels (noise and window quantization allow small offsets).
+    // Ground truth: x from 20 to 75, y from 30 to 65ish.
+    EXPECT_NEAR(r.output[0], 20.0, 5.0);
+    EXPECT_NEAR(r.output[2 * (wl.frames() - 1)], 75.0, 6.0);
+    auto img = wl.renderOutput(r);
+    EXPECT_EQ(img.size(), wl.imageWidth() * wl.imageHeight());
+    unsigned lit = 0;
+    for (auto p : img)
+        lit += p > 50 ? 1 : 0;
+    EXPECT_GT(lit, 100u);
+}
+
+TEST(X264, FindsTheTrueMotion)
+{
+    auto r = run_with("x264", Scheme::Baseline, 0.0);
+    // The two bright squares moved by (3,2); their macroblocks should
+    // report motion (-3,-2) (prev-frame offset). At least one block.
+    bool found = false;
+    for (std::size_t i = 0; i + 2 < r.output.size(); i += 3)
+        found = found ||
+                (r.output[i] == -3.0 && r.output[i + 1] == -2.0);
+    EXPECT_TRUE(found);
+}
+
+TEST(Ssca2, CentralityIsPlausible)
+{
+    auto r = run_with("ssca2", Scheme::Baseline, 0.0);
+    double sum = 0.0, mx = 0.0;
+    for (double v : r.output) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+        mx = std::max(mx, v);
+    }
+    EXPECT_GT(sum, 0.0);
+    EXPECT_GT(mx, sum / static_cast<double>(r.output.size()) * 3)
+        << "small-world graphs concentrate centrality";
+}
+
+TEST(Streamcluster, CustomErrorMetricHandlesLabelSwap)
+{
+    StreamclusterWorkload wl;
+    WorkloadResult a, b;
+    a.output.assign(1 + 64, 0.0);
+    b.output.assign(1 + 64, 0.0);
+    a.output[0] = b.output[0] = 10.0;
+    // Two centers with swapped labels -> zero displacement error.
+    for (std::size_t d = 0; d < 8; ++d) {
+        a.output[1 + d] = 1.0;
+        a.output[1 + 8 + d] = 2.0;
+        b.output[1 + d] = 2.0;
+        b.output[1 + 8 + d] = 1.0;
+    }
+    EXPECT_NEAR(wl.outputError(a, b), 0.0, 1e-9);
+}
+
+TEST(Blackscholes, PricesRespectNoArbitrageBounds)
+{
+    // Run precisely and validate the kernel's math: option prices are
+    // non-negative and a call never exceeds the spot price.
+    CacheConfig cfg = paper_cache();
+    ApproxCacheSystem mem(cfg, nullptr);
+    BlackscholesWorkload wl;
+    WorkloadResult r = wl.run(mem);
+    for (double price : r.output) {
+        ASSERT_GE(price, 0.0);
+        ASSERT_LE(price, 150.0) << "price above any spot/strike in range";
+    }
+}
+
+TEST(Fluidanimate, ParticlesStayInTheBox)
+{
+    CacheConfig cfg = paper_cache();
+    ApproxCacheSystem mem(cfg, nullptr);
+    FluidanimateWorkload wl;
+    WorkloadResult r = wl.run(mem);
+    for (double coord : r.output) {
+        ASSERT_GE(coord, -0.5);
+        ASSERT_LE(coord, 10.5);
+    }
+}
+
+TEST(Canneal, AnnealingImprovesWirelength)
+{
+    // The annealed cost must beat the expected random-placement cost
+    // (~2/3 of grid span per net hop on a 256-wide grid).
+    CacheConfig cfg = paper_cache();
+    ApproxCacheSystem mem(cfg, nullptr);
+    CannealWorkload wl;
+    WorkloadResult r = wl.run(mem);
+    double final_cost = r.output[0];
+    double initial_cost = r.output[1];
+    EXPECT_GT(final_cost, 0.0);
+    EXPECT_LT(final_cost, initial_cost * 0.95)
+        << "annealing must clearly beat the random placement";
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * approxnoc_sim — the standalone network simulator binary (in the
+ * spirit of BookSim's main or gem5's Garnet standalone mode), exposing
+ * the full configuration space on the command line:
+ *
+ *   topology/routing : --rows --cols --concentration --topology=mesh|torus
+ *                      --routing=xy|yx|westfirst
+ *   router           : --vcs --vc-depth --flit-bits --stages
+ *   scheme           : --scheme=Baseline|DI-COMP|DI-VAXX|FP-COMP|FP-VAXX
+ *                      --threshold --approx-ratio
+ *   traffic          : --traffic=uniform|transpose|bitcomp|hotspot|neighbor
+ *                      --rate --data-ratio --type=int|float
+ *                      or --trace=<file> [--load]
+ *                      or --closed-loop [--window --think]
+ *   run              : --cycles --warmup --seed --qos-target
+ *
+ * Ends with the gem5-style stats dump.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/log.h"
+#include "core/codec_factory.h"
+#include "noc/network.h"
+#include "noc/qos_loop.h"
+#include "sim/simulator.h"
+#include "traffic/closed_loop.h"
+#include "traffic/data_provider.h"
+#include "traffic/replay.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "approxnoc_sim — APPROX-NoC network simulator\n\n"
+        "  --rows=4 --cols=4 --concentration=2\n"
+        "  --topology=mesh|torus --routing=xy|yx|westfirst\n"
+        "  --vcs=4 --vc-depth=4 --flit-bits=64 --stages=3\n"
+        "  --scheme=FP-VAXX --threshold=10 --approx-ratio=0.75\n"
+        "  --traffic=uniform --rate=0.1 --data-ratio=0.25 --type=float\n"
+        "  --trace=<file> [--load=0.04]   (replaces synthetic traffic)\n"
+        "  --closed-loop [--window=4 --think=4]\n"
+        "  --cycles=100000 --warmup=0 --seed=42\n"
+        "  --qos-target=<pct>   (enable the online error-control loop)\n"
+        "  --quiet              (suppress the stats dump; print summary)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    if (args.has("help")) {
+        usage();
+        return 0;
+    }
+
+    NocConfig ncfg;
+    ncfg.rows = static_cast<unsigned>(args.getInt("rows", 4));
+    ncfg.cols = static_cast<unsigned>(args.getInt("cols", 4));
+    ncfg.concentration =
+        static_cast<unsigned>(args.getInt("concentration", 2));
+    ncfg.vcs = static_cast<unsigned>(args.getInt("vcs", 4));
+    ncfg.vc_depth = static_cast<unsigned>(args.getInt("vc-depth", 4));
+    ncfg.flit_bits = static_cast<unsigned>(args.getInt("flit-bits", 64));
+    ncfg.router_stages = static_cast<unsigned>(args.getInt("stages", 3));
+
+    std::string topo = args.getString("topology", "mesh");
+    if (topo == "torus")
+        ncfg.topology = Topology::Torus;
+    else if (topo != "mesh")
+        ANOC_FATAL("unknown topology '", topo, "'");
+
+    std::string routing = args.getString("routing", "xy");
+    if (routing == "yx")
+        ncfg.routing = RoutingAlgo::YX;
+    else if (routing == "westfirst")
+        ncfg.routing = RoutingAlgo::WestFirst;
+    else if (routing != "xy")
+        ANOC_FATAL("unknown routing '", routing, "'");
+
+    CodecConfig cc;
+    cc.n_nodes = ncfg.nodes();
+    cc.error_threshold_pct = args.getDouble("threshold", 10.0);
+    auto codec =
+        make_codec(scheme_from_string(args.getString("scheme", "FP-VAXX")),
+                   cc);
+
+    Network net(ncfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    auto cycles = static_cast<Cycle>(args.getInt("cycles", 100000));
+    auto warmup = static_cast<Cycle>(args.getInt("warmup", 0));
+    auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+
+    // Traffic source (exactly one).
+    std::unique_ptr<SyntheticDataProvider> provider;
+    std::unique_ptr<SyntheticTraffic> synth;
+    std::unique_ptr<ClosedLoopTraffic> closed;
+    std::unique_ptr<CommTrace> trace;
+    std::unique_ptr<TraceReplay> replay;
+
+    DataType type = args.getString("type", "float") == "int"
+                        ? DataType::Int32
+                        : DataType::Float32;
+    provider = std::make_unique<SyntheticDataProvider>(type, 16, 0.9, 3.0,
+                                                       seed, 0.7, 8);
+
+    if (args.has("trace")) {
+        trace = std::make_unique<CommTrace>(
+            CommTrace::load(args.getString("trace", "")));
+        std::uint64_t flits = 0;
+        for (const auto &r : trace->records())
+            flits += r.cls == PacketClass::Data ? 9 : 1;
+        double natural =
+            trace->duration()
+                ? static_cast<double>(flits) /
+                      (static_cast<double>(trace->duration()) * ncfg.nodes())
+                : 0.0;
+        double load = args.getDouble("load", 0.04);
+        replay = std::make_unique<TraceReplay>(
+            net, *trace, natural > 0 ? natural / load : 1.0,
+            args.getDouble("approx-ratio", 0.75));
+        sim.add(replay.get());
+    } else if (args.getBool("closed-loop", false)) {
+        ClosedLoopConfig lc;
+        lc.window = static_cast<unsigned>(args.getInt("window", 4));
+        lc.think_time = static_cast<Cycle>(args.getInt("think", 4));
+        lc.approx_ratio = args.getDouble("approx-ratio", 0.75);
+        lc.seed = seed;
+        closed = std::make_unique<ClosedLoopTraffic>(net, lc, *provider);
+        sim.add(closed.get());
+    } else {
+        SyntheticConfig tc;
+        tc.injection_rate = args.getDouble("rate", 0.1);
+        tc.data_packet_ratio = args.getDouble("data-ratio", 0.25);
+        tc.pattern = pattern_from_string(
+            args.getString("traffic", "uniform"));
+        tc.approx_ratio = args.getDouble("approx-ratio", 0.75);
+        tc.seed = seed;
+        synth = std::make_unique<SyntheticTraffic>(net, tc, *provider);
+        sim.add(synth.get());
+    }
+
+    std::unique_ptr<ErrorControlLoop> qos;
+    if (args.has("qos-target")) {
+        qos = std::make_unique<ErrorControlLoop>(
+            net,
+            QosController(args.getDouble("qos-target", 0.2),
+                          cc.error_threshold_pct),
+            2000);
+        sim.add(qos.get());
+    }
+
+    if (warmup > 0) {
+        sim.run(warmup);
+        net.stats().reset();
+    }
+    sim.run(cycles);
+
+    // Stop offering and drain.
+    if (synth)
+        synth->setEnabled(false);
+    if (closed)
+        closed->setEnabled(false);
+    bool drained = sim.runUntil(
+        [&] {
+            return net.drained() &&
+                   (!replay || replay->done()) &&
+                   (!closed || closed->quiesced());
+        },
+        static_cast<Cycle>(5e6));
+
+    if (args.getBool("quiet", false)) {
+        std::printf("%s: latency %.2f, delivered %llu, data flits %llu, "
+                    "quality %.4f (%s)\n",
+                    to_string(net.codec().scheme()).c_str(),
+                    net.stats().total_lat.mean(),
+                    static_cast<unsigned long long>(
+                        net.stats().packets_delivered.value()),
+                    static_cast<unsigned long long>(net.dataFlitsInjected()),
+                    net.stats().quality.dataQuality(),
+                    drained ? "drained" : "TIMEOUT");
+    } else {
+        net.dumpStats(std::cout, sim.now());
+        if (closed)
+            std::printf("closed_loop.round_trip    %.2f\n",
+                        closed->roundTrip().mean());
+        if (qos)
+            std::printf("qos.threshold            %.2f (violations %llu)\n",
+                        qos->controller().threshold(),
+                        static_cast<unsigned long long>(
+                            qos->controller().violations()));
+    }
+    return drained ? 0 : 1;
+}
