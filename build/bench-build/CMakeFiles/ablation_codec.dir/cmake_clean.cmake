@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_codec"
+  "../bench/ablation_codec.pdb"
+  "CMakeFiles/ablation_codec.dir/ablation_codec.cc.o"
+  "CMakeFiles/ablation_codec.dir/ablation_codec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

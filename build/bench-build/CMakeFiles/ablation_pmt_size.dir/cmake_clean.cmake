@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pmt_size"
+  "../bench/ablation_pmt_size.pdb"
+  "CMakeFiles/ablation_pmt_size.dir/ablation_pmt_size.cc.o"
+  "CMakeFiles/ablation_pmt_size.dir/ablation_pmt_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pmt_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/area_overhead"
+  "../bench/area_overhead.pdb"
+  "CMakeFiles/area_overhead.dir/area_overhead.cc.o"
+  "CMakeFiles/area_overhead.dir/area_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/closed_loop_latency"
+  "../bench/closed_loop_latency.pdb"
+  "CMakeFiles/closed_loop_latency.dir/closed_loop_latency.cc.o"
+  "CMakeFiles/closed_loop_latency.dir/closed_loop_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

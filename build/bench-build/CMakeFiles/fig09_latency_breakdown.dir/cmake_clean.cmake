@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_latency_breakdown"
+  "../bench/fig09_latency_breakdown.pdb"
+  "CMakeFiles/fig09_latency_breakdown.dir/fig09_latency_breakdown.cc.o"
+  "CMakeFiles/fig09_latency_breakdown.dir/fig09_latency_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_compression"
+  "../bench/fig10_compression.pdb"
+  "CMakeFiles/fig10_compression.dir/fig10_compression.cc.o"
+  "CMakeFiles/fig10_compression.dir/fig10_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_flit_reduction"
+  "../bench/fig11_flit_reduction.pdb"
+  "CMakeFiles/fig11_flit_reduction.dir/fig11_flit_reduction.cc.o"
+  "CMakeFiles/fig11_flit_reduction.dir/fig11_flit_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_flit_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_error_threshold"
+  "../bench/fig13_error_threshold.pdb"
+  "CMakeFiles/fig13_error_threshold.dir/fig13_error_threshold.cc.o"
+  "CMakeFiles/fig13_error_threshold.dir/fig13_error_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_error_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

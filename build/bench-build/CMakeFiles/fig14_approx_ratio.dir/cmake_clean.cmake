@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_approx_ratio"
+  "../bench/fig14_approx_ratio.pdb"
+  "CMakeFiles/fig14_approx_ratio.dir/fig14_approx_ratio.cc.o"
+  "CMakeFiles/fig14_approx_ratio.dir/fig14_approx_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_approx_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

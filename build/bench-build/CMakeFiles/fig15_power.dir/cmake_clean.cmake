@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_power"
+  "../bench/fig15_power.pdb"
+  "CMakeFiles/fig15_power.dir/fig15_power.cc.o"
+  "CMakeFiles/fig15_power.dir/fig15_power.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

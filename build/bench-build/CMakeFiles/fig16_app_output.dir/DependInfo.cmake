@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_app_output.cc" "bench-build/CMakeFiles/fig16_app_output.dir/fig16_app_output.cc.o" "gcc" "bench-build/CMakeFiles/fig16_app_output.dir/fig16_app_output.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approxnoc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/approxnoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/approxnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/approxnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/approxnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/approxnoc_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/approxnoc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

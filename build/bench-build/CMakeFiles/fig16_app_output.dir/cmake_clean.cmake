@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_app_output"
+  "../bench/fig16_app_output.pdb"
+  "CMakeFiles/fig16_app_output.dir/fig16_app_output.cc.o"
+  "CMakeFiles/fig16_app_output.dir/fig16_app_output.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_app_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

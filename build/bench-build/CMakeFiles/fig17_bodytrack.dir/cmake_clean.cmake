@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_bodytrack"
+  "../bench/fig17_bodytrack.pdb"
+  "CMakeFiles/fig17_bodytrack.dir/fig17_bodytrack.cc.o"
+  "CMakeFiles/fig17_bodytrack.dir/fig17_bodytrack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bodytrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

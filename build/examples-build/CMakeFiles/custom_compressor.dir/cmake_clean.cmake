@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_compressor"
+  "../examples/custom_compressor.pdb"
+  "CMakeFiles/custom_compressor.dir/custom_compressor.cpp.o"
+  "CMakeFiles/custom_compressor.dir/custom_compressor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/error_control"
+  "../examples/error_control.pdb"
+  "CMakeFiles/error_control.dir/error_control.cpp.o"
+  "CMakeFiles/error_control.dir/error_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

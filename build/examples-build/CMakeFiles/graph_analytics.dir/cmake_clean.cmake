@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/graph_analytics"
+  "../examples/graph_analytics.pdb"
+  "CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o"
+  "CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

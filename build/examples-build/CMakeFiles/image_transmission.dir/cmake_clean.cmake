@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/image_transmission"
+  "../examples/image_transmission.pdb"
+  "CMakeFiles/image_transmission.dir/image_transmission.cpp.o"
+  "CMakeFiles/image_transmission.dir/image_transmission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/noc_simulation"
+  "../examples/noc_simulation.pdb"
+  "CMakeFiles/noc_simulation.dir/noc_simulation.cpp.o"
+  "CMakeFiles/noc_simulation.dir/noc_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/avcl.cc" "src/approx/CMakeFiles/approxnoc_approx.dir/avcl.cc.o" "gcc" "src/approx/CMakeFiles/approxnoc_approx.dir/avcl.cc.o.d"
+  "/root/repo/src/approx/di_vaxx.cc" "src/approx/CMakeFiles/approxnoc_approx.dir/di_vaxx.cc.o" "gcc" "src/approx/CMakeFiles/approxnoc_approx.dir/di_vaxx.cc.o.d"
+  "/root/repo/src/approx/error_model.cc" "src/approx/CMakeFiles/approxnoc_approx.dir/error_model.cc.o" "gcc" "src/approx/CMakeFiles/approxnoc_approx.dir/error_model.cc.o.d"
+  "/root/repo/src/approx/fp_vaxx.cc" "src/approx/CMakeFiles/approxnoc_approx.dir/fp_vaxx.cc.o" "gcc" "src/approx/CMakeFiles/approxnoc_approx.dir/fp_vaxx.cc.o.d"
+  "/root/repo/src/approx/window_vaxx.cc" "src/approx/CMakeFiles/approxnoc_approx.dir/window_vaxx.cc.o" "gcc" "src/approx/CMakeFiles/approxnoc_approx.dir/window_vaxx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compression/CMakeFiles/approxnoc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

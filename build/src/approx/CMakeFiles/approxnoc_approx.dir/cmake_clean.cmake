@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_approx.dir/avcl.cc.o"
+  "CMakeFiles/approxnoc_approx.dir/avcl.cc.o.d"
+  "CMakeFiles/approxnoc_approx.dir/di_vaxx.cc.o"
+  "CMakeFiles/approxnoc_approx.dir/di_vaxx.cc.o.d"
+  "CMakeFiles/approxnoc_approx.dir/error_model.cc.o"
+  "CMakeFiles/approxnoc_approx.dir/error_model.cc.o.d"
+  "CMakeFiles/approxnoc_approx.dir/fp_vaxx.cc.o"
+  "CMakeFiles/approxnoc_approx.dir/fp_vaxx.cc.o.d"
+  "CMakeFiles/approxnoc_approx.dir/window_vaxx.cc.o"
+  "CMakeFiles/approxnoc_approx.dir/window_vaxx.cc.o.d"
+  "libapproxnoc_approx.a"
+  "libapproxnoc_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_cache.dir/approx_cache.cc.o"
+  "CMakeFiles/approxnoc_cache.dir/approx_cache.cc.o.d"
+  "CMakeFiles/approxnoc_cache.dir/doppelganger.cc.o"
+  "CMakeFiles/approxnoc_cache.dir/doppelganger.cc.o.d"
+  "libapproxnoc_cache.a"
+  "libapproxnoc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_common.dir/bitstream.cc.o"
+  "CMakeFiles/approxnoc_common.dir/bitstream.cc.o.d"
+  "CMakeFiles/approxnoc_common.dir/cli.cc.o"
+  "CMakeFiles/approxnoc_common.dir/cli.cc.o.d"
+  "CMakeFiles/approxnoc_common.dir/data_block.cc.o"
+  "CMakeFiles/approxnoc_common.dir/data_block.cc.o.d"
+  "CMakeFiles/approxnoc_common.dir/log.cc.o"
+  "CMakeFiles/approxnoc_common.dir/log.cc.o.d"
+  "CMakeFiles/approxnoc_common.dir/stats.cc.o"
+  "CMakeFiles/approxnoc_common.dir/stats.cc.o.d"
+  "CMakeFiles/approxnoc_common.dir/table.cc.o"
+  "CMakeFiles/approxnoc_common.dir/table.cc.o.d"
+  "libapproxnoc_common.a"
+  "libapproxnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

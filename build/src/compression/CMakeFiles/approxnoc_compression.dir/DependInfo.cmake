@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/adaptive.cc" "src/compression/CMakeFiles/approxnoc_compression.dir/adaptive.cc.o" "gcc" "src/compression/CMakeFiles/approxnoc_compression.dir/adaptive.cc.o.d"
+  "/root/repo/src/compression/baseline.cc" "src/compression/CMakeFiles/approxnoc_compression.dir/baseline.cc.o" "gcc" "src/compression/CMakeFiles/approxnoc_compression.dir/baseline.cc.o.d"
+  "/root/repo/src/compression/dictionary.cc" "src/compression/CMakeFiles/approxnoc_compression.dir/dictionary.cc.o" "gcc" "src/compression/CMakeFiles/approxnoc_compression.dir/dictionary.cc.o.d"
+  "/root/repo/src/compression/encoded.cc" "src/compression/CMakeFiles/approxnoc_compression.dir/encoded.cc.o" "gcc" "src/compression/CMakeFiles/approxnoc_compression.dir/encoded.cc.o.d"
+  "/root/repo/src/compression/fpc.cc" "src/compression/CMakeFiles/approxnoc_compression.dir/fpc.cc.o" "gcc" "src/compression/CMakeFiles/approxnoc_compression.dir/fpc.cc.o.d"
+  "/root/repo/src/compression/wire.cc" "src/compression/CMakeFiles/approxnoc_compression.dir/wire.cc.o" "gcc" "src/compression/CMakeFiles/approxnoc_compression.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

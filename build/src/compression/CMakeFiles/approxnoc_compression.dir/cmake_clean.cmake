@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_compression.dir/adaptive.cc.o"
+  "CMakeFiles/approxnoc_compression.dir/adaptive.cc.o.d"
+  "CMakeFiles/approxnoc_compression.dir/baseline.cc.o"
+  "CMakeFiles/approxnoc_compression.dir/baseline.cc.o.d"
+  "CMakeFiles/approxnoc_compression.dir/dictionary.cc.o"
+  "CMakeFiles/approxnoc_compression.dir/dictionary.cc.o.d"
+  "CMakeFiles/approxnoc_compression.dir/encoded.cc.o"
+  "CMakeFiles/approxnoc_compression.dir/encoded.cc.o.d"
+  "CMakeFiles/approxnoc_compression.dir/fpc.cc.o"
+  "CMakeFiles/approxnoc_compression.dir/fpc.cc.o.d"
+  "CMakeFiles/approxnoc_compression.dir/wire.cc.o"
+  "CMakeFiles/approxnoc_compression.dir/wire.cc.o.d"
+  "libapproxnoc_compression.a"
+  "libapproxnoc_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec_factory.cc" "src/core/CMakeFiles/approxnoc_core.dir/codec_factory.cc.o" "gcc" "src/core/CMakeFiles/approxnoc_core.dir/codec_factory.cc.o.d"
+  "/root/repo/src/core/error_control.cc" "src/core/CMakeFiles/approxnoc_core.dir/error_control.cc.o" "gcc" "src/core/CMakeFiles/approxnoc_core.dir/error_control.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/approxnoc_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/approxnoc_core.dir/quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compression/CMakeFiles/approxnoc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/approxnoc_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_core.dir/codec_factory.cc.o"
+  "CMakeFiles/approxnoc_core.dir/codec_factory.cc.o.d"
+  "CMakeFiles/approxnoc_core.dir/error_control.cc.o"
+  "CMakeFiles/approxnoc_core.dir/error_control.cc.o.d"
+  "CMakeFiles/approxnoc_core.dir/quality.cc.o"
+  "CMakeFiles/approxnoc_core.dir/quality.cc.o.d"
+  "libapproxnoc_core.a"
+  "libapproxnoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

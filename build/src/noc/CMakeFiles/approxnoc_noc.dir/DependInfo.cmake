@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/network.cc" "src/noc/CMakeFiles/approxnoc_noc.dir/network.cc.o" "gcc" "src/noc/CMakeFiles/approxnoc_noc.dir/network.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/noc/CMakeFiles/approxnoc_noc.dir/network_interface.cc.o" "gcc" "src/noc/CMakeFiles/approxnoc_noc.dir/network_interface.cc.o.d"
+  "/root/repo/src/noc/packet.cc" "src/noc/CMakeFiles/approxnoc_noc.dir/packet.cc.o" "gcc" "src/noc/CMakeFiles/approxnoc_noc.dir/packet.cc.o.d"
+  "/root/repo/src/noc/qos_loop.cc" "src/noc/CMakeFiles/approxnoc_noc.dir/qos_loop.cc.o" "gcc" "src/noc/CMakeFiles/approxnoc_noc.dir/qos_loop.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/noc/CMakeFiles/approxnoc_noc.dir/router.cc.o" "gcc" "src/noc/CMakeFiles/approxnoc_noc.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/approxnoc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/approxnoc_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_noc.dir/network.cc.o"
+  "CMakeFiles/approxnoc_noc.dir/network.cc.o.d"
+  "CMakeFiles/approxnoc_noc.dir/network_interface.cc.o"
+  "CMakeFiles/approxnoc_noc.dir/network_interface.cc.o.d"
+  "CMakeFiles/approxnoc_noc.dir/packet.cc.o"
+  "CMakeFiles/approxnoc_noc.dir/packet.cc.o.d"
+  "CMakeFiles/approxnoc_noc.dir/qos_loop.cc.o"
+  "CMakeFiles/approxnoc_noc.dir/qos_loop.cc.o.d"
+  "CMakeFiles/approxnoc_noc.dir/router.cc.o"
+  "CMakeFiles/approxnoc_noc.dir/router.cc.o.d"
+  "libapproxnoc_noc.a"
+  "libapproxnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_power.dir/area_model.cc.o"
+  "CMakeFiles/approxnoc_power.dir/area_model.cc.o.d"
+  "CMakeFiles/approxnoc_power.dir/power_model.cc.o"
+  "CMakeFiles/approxnoc_power.dir/power_model.cc.o.d"
+  "libapproxnoc_power.a"
+  "libapproxnoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/approxnoc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/approxnoc_sim.dir/simulator.cc.o"
+  "CMakeFiles/approxnoc_sim.dir/simulator.cc.o.d"
+  "libapproxnoc_sim.a"
+  "libapproxnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/cam.cc" "src/tcam/CMakeFiles/approxnoc_tcam.dir/cam.cc.o" "gcc" "src/tcam/CMakeFiles/approxnoc_tcam.dir/cam.cc.o.d"
+  "/root/repo/src/tcam/tcam.cc" "src/tcam/CMakeFiles/approxnoc_tcam.dir/tcam.cc.o" "gcc" "src/tcam/CMakeFiles/approxnoc_tcam.dir/tcam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_tcam.dir/cam.cc.o"
+  "CMakeFiles/approxnoc_tcam.dir/cam.cc.o.d"
+  "CMakeFiles/approxnoc_tcam.dir/tcam.cc.o"
+  "CMakeFiles/approxnoc_tcam.dir/tcam.cc.o.d"
+  "libapproxnoc_tcam.a"
+  "libapproxnoc_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapproxnoc_tcam.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/closed_loop.cc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/closed_loop.cc.o" "gcc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/closed_loop.cc.o.d"
+  "/root/repo/src/traffic/data_provider.cc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/data_provider.cc.o" "gcc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/data_provider.cc.o.d"
+  "/root/repo/src/traffic/patterns.cc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/patterns.cc.o" "gcc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/patterns.cc.o.d"
+  "/root/repo/src/traffic/replay.cc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/replay.cc.o" "gcc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/replay.cc.o.d"
+  "/root/repo/src/traffic/synthetic.cc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/synthetic.cc.o" "gcc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/synthetic.cc.o.d"
+  "/root/repo/src/traffic/trace.cc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/trace.cc.o" "gcc" "src/traffic/CMakeFiles/approxnoc_traffic.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/approxnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/approxnoc_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/approxnoc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

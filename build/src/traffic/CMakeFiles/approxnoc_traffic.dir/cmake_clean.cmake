@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_traffic.dir/closed_loop.cc.o"
+  "CMakeFiles/approxnoc_traffic.dir/closed_loop.cc.o.d"
+  "CMakeFiles/approxnoc_traffic.dir/data_provider.cc.o"
+  "CMakeFiles/approxnoc_traffic.dir/data_provider.cc.o.d"
+  "CMakeFiles/approxnoc_traffic.dir/patterns.cc.o"
+  "CMakeFiles/approxnoc_traffic.dir/patterns.cc.o.d"
+  "CMakeFiles/approxnoc_traffic.dir/replay.cc.o"
+  "CMakeFiles/approxnoc_traffic.dir/replay.cc.o.d"
+  "CMakeFiles/approxnoc_traffic.dir/synthetic.cc.o"
+  "CMakeFiles/approxnoc_traffic.dir/synthetic.cc.o.d"
+  "CMakeFiles/approxnoc_traffic.dir/trace.cc.o"
+  "CMakeFiles/approxnoc_traffic.dir/trace.cc.o.d"
+  "libapproxnoc_traffic.a"
+  "libapproxnoc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

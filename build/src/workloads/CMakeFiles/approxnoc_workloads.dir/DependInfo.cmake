@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/blackscholes.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/blackscholes.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/blackscholes.cc.o.d"
+  "/root/repo/src/workloads/bodytrack.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/bodytrack.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/bodytrack.cc.o.d"
+  "/root/repo/src/workloads/canneal.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/canneal.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/canneal.cc.o.d"
+  "/root/repo/src/workloads/fluidanimate.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/fluidanimate.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/fluidanimate.cc.o.d"
+  "/root/repo/src/workloads/ssca2.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/ssca2.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/ssca2.cc.o.d"
+  "/root/repo/src/workloads/streamcluster.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/streamcluster.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/swaptions.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/swaptions.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/swaptions.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/workload.cc.o.d"
+  "/root/repo/src/workloads/x264.cc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/x264.cc.o" "gcc" "src/workloads/CMakeFiles/approxnoc_workloads.dir/x264.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/approxnoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/approxnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/approxnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/approxnoc_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/approxnoc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

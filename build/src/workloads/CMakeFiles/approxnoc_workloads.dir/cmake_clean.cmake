@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxnoc_workloads.dir/blackscholes.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/blackscholes.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/bodytrack.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/bodytrack.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/canneal.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/canneal.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/fluidanimate.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/fluidanimate.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/ssca2.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/ssca2.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/streamcluster.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/streamcluster.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/swaptions.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/swaptions.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/workload.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/workload.cc.o.d"
+  "CMakeFiles/approxnoc_workloads.dir/x264.cc.o"
+  "CMakeFiles/approxnoc_workloads.dir/x264.cc.o.d"
+  "libapproxnoc_workloads.a"
+  "libapproxnoc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

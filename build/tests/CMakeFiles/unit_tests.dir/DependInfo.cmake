@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bits.cc" "tests/CMakeFiles/unit_tests.dir/test_bits.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_bits.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/unit_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cam_tcam.cc" "tests/CMakeFiles/unit_tests.dir/test_cam_tcam.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cam_tcam.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/unit_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_di_vaxx.cc" "tests/CMakeFiles/unit_tests.dir/test_di_vaxx.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_di_vaxx.cc.o.d"
+  "/root/repo/tests/test_dictionary.cc" "tests/CMakeFiles/unit_tests.dir/test_dictionary.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_dictionary.cc.o.d"
+  "/root/repo/tests/test_error_model.cc" "tests/CMakeFiles/unit_tests.dir/test_error_model.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_error_model.cc.o.d"
+  "/root/repo/tests/test_errors.cc" "tests/CMakeFiles/unit_tests.dir/test_errors.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_errors.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/unit_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fault_injection.cc" "tests/CMakeFiles/unit_tests.dir/test_fault_injection.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_fault_injection.cc.o.d"
+  "/root/repo/tests/test_fp_vaxx.cc" "tests/CMakeFiles/unit_tests.dir/test_fp_vaxx.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_fp_vaxx.cc.o.d"
+  "/root/repo/tests/test_fpc.cc" "tests/CMakeFiles/unit_tests.dir/test_fpc.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_fpc.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/unit_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/unit_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/unit_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_router.cc" "tests/CMakeFiles/unit_tests.dir/test_router.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_router.cc.o.d"
+  "/root/repo/tests/test_scheme_properties.cc" "tests/CMakeFiles/unit_tests.dir/test_scheme_properties.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_scheme_properties.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/unit_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_torus.cc" "tests/CMakeFiles/unit_tests.dir/test_torus.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_torus.cc.o.d"
+  "/root/repo/tests/test_traffic.cc" "tests/CMakeFiles/unit_tests.dir/test_traffic.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_traffic.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/unit_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/approxnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/approxnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/approxnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/approxnoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/approxnoc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/approxnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/approxnoc_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/approxnoc_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/approxnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/approxnoc_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/approxnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/approxnoc_sim"
+  "../tools/approxnoc_sim.pdb"
+  "CMakeFiles/approxnoc_sim_tool.dir/approxnoc_sim.cpp.o"
+  "CMakeFiles/approxnoc_sim_tool.dir/approxnoc_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxnoc_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_sim_mesh "/root/repo/build/tools/approxnoc_sim" "--cycles=3000" "--quiet")
+set_tests_properties(tool_sim_mesh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_torus "/root/repo/build/tools/approxnoc_sim" "--topology=torus" "--scheme=DI-VAXX" "--closed-loop" "--cycles=3000" "--quiet")
+set_tests_properties(tool_sim_torus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_westfirst "/root/repo/build/tools/approxnoc_sim" "--routing=westfirst" "--traffic=transpose" "--rate=0.2" "--cycles=3000" "--quiet")
+set_tests_properties(tool_sim_westfirst PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
