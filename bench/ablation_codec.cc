@@ -48,10 +48,12 @@ score(CodecSystem &codec, DataType type, std::uint64_t seed)
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt =
-        BenchOptions::parse(argc, argv, "Design-choice ablations");
+    ExperimentSpec spec = ExperimentSpec::Builder()
+                              .fromCli(argc, argv, "Design-choice ablations")
+                              .build();
+    const double threshold = spec.thresholds().front();
     print_banner("Ablations (error mode, FPC priority, VAXX placement)",
-                 opt);
+                 spec);
 
     Table t({"ablation", "variant", "type", "compr_ratio", "mean_err_pct",
              "compr_latency"});
@@ -63,7 +65,7 @@ main(int argc, char **argv)
         for (ErrorRangeMode mode :
              {ErrorRangeMode::Shift, ErrorRangeMode::Exact}) {
             FpVaxxCodec codec{
-                ErrorModel(opt.error_threshold_pct, mode)};
+                ErrorModel(threshold, mode)};
             CodecScore s = score(codec, type, 11);
             t.row()
                 .cell(std::string("error-range"))
@@ -79,7 +81,7 @@ main(int argc, char **argv)
         // 2. FP-VAXX match priority.
         for (FpcPriorityMode mode :
              {FpcPriorityMode::PreferApprox, FpcPriorityMode::PreferExact}) {
-            FpVaxxCodec codec{ErrorModel(opt.error_threshold_pct), mode};
+            FpVaxxCodec codec{ErrorModel(threshold), mode};
             CodecScore s = score(codec, type, 13);
             t.row()
                 .cell(std::string("fpc-priority"))
@@ -98,8 +100,8 @@ main(int argc, char **argv)
         //    and a few need a wide mask (the video/image scenario the
         //    paper motivates the window with).
         {
-            FpVaxxCodec perword{ErrorModel(opt.error_threshold_pct)};
-            WindowVaxxCodec window{ErrorModel(opt.error_threshold_pct),
+            FpVaxxCodec perword{ErrorModel(threshold)};
+            WindowVaxxCodec window{ErrorModel(threshold),
                                    /*per_word_cap=*/8.0};
             auto skewed_score = [&](CodecSystem &codec) {
                 Rng rng(29);
@@ -149,9 +151,9 @@ main(int argc, char **argv)
             acfg.n_nodes = 4;
             AdaptiveCodec adaptive(
                 std::make_unique<FpVaxxCodec>(
-                    ErrorModel(opt.error_threshold_pct)),
+                    ErrorModel(threshold)),
                 acfg);
-            FpVaxxCodec plain{ErrorModel(opt.error_threshold_pct)};
+            FpVaxxCodec plain{ErrorModel(threshold)};
 
             auto phased_score = [&](CodecSystem &codec) {
                 Rng rng(31);
@@ -203,7 +205,7 @@ main(int argc, char **argv)
              {VaxxPlacement::Insertion, VaxxPlacement::Lookup}) {
             DictionaryConfig dict;
             dict.n_nodes = 4;
-            DiVaxxCodec codec(dict, ErrorModel(opt.error_threshold_pct),
+            DiVaxxCodec codec(dict, ErrorModel(threshold),
                               placement);
             CodecScore s = score(codec, type, 17);
             t.row()
@@ -217,6 +219,6 @@ main(int argc, char **argv)
                 .cell(static_cast<long>(s.latency));
         }
     }
-    emit(t, opt, "ablation_codec");
+    emit(t, spec, "ablation_codec");
     return 0;
 }

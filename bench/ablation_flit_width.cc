@@ -7,105 +7,104 @@
  * (Table 1) and 128-bit flits, per scheme, reporting the compression
  * ratio (width-independent) against the achieved data-flit reduction.
  */
+#include <algorithm>
 #include <cstdio>
-#include <map>
 
 #include "bench/bench_common.h"
-#include "common/log.h"
 
 using namespace approxnoc;
 using namespace approxnoc::bench;
 
-namespace {
-
-struct Point {
-    double compr_ratio;
-    double flit_reduction;
-    double total_lat;
-};
-
-Point
-run_width(const CommTrace &trace, Scheme scheme, unsigned flit_bits,
-          std::uint64_t base_flits, const BenchOptions &opt)
-{
-    NocConfig ncfg;
-    ncfg.flit_bits = flit_bits;
-    CodecConfig cc;
-    cc.n_nodes = ncfg.nodes();
-    cc.error_threshold_pct = opt.error_threshold_pct;
-    auto codec = make_codec(scheme, cc);
-    Network net(ncfg, codec.get());
-    Simulator sim;
-    net.attach(sim);
-
-    CommTrace capped;
-    for (const auto &b : trace.blocks())
-        capped.addBlock(b);
-    for (std::size_t i = 0; i < std::min(trace.size(), opt.max_records); ++i)
-        capped.add(trace.records()[i]);
-
-    double natural = TraceLibrary::naturalLoad(capped, ncfg.nodes());
-    TraceReplay replay(net, capped, natural / opt.target_load,
-                       opt.approx_ratio);
-    sim.add(&replay);
-    bool ok = sim.runUntil(
-        [&] { return replay.done() && net.drained(); },
-        static_cast<Cycle>(2e8));
-    ANOC_ASSERT(ok, "replay did not finish");
-
-    Point p;
-    p.compr_ratio = net.stats().quality.compressionRatio();
-    p.flit_reduction =
-        base_flits ? 1.0 - static_cast<double>(net.dataFlitsInjected()) /
-                               static_cast<double>(base_flits)
-                   : 0.0;
-    p.total_lat = net.stats().total_lat.mean();
-    return p;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv, "Ablation: flit width vs internal fragmentation");
-    print_banner("Ablation (flit width / internal fragmentation)", opt);
+    ExperimentSpec spec =
+        ExperimentSpec::Builder()
+            .fromCli(argc, argv,
+                     "Ablation: flit width vs internal fragmentation")
+            .build();
+    const ExperimentConfig &cfg = spec.config();
+    print_banner("Ablation (flit width / internal fragmentation)", spec);
 
     std::vector<std::string> bms = {"blackscholes", "ssca2"};
-    if (opt.benchmarks.size() < workload_names().size())
-        bms = opt.benchmarks;
+    if (spec.benchmarks().size() < workload_names().size())
+        bms = spec.benchmarks();
 
-    TraceLibrary traces(opt.scale);
+    const unsigned widths[] = {32u, 64u, 128u};
+    const Scheme schemes[] = {Scheme::DiVaxx, Scheme::FpComp,
+                              Scheme::FpVaxx};
+
+    struct Point {
+        std::string bm;
+        unsigned width;
+        Scheme scheme;
+    };
+    std::vector<Point> points;
+    for (const auto &bm : bms)
+        for (unsigned width : widths)
+            for (Scheme s : schemes)
+                points.push_back({bm, width, s});
+
+    TraceLibrary traces(cfg.scale);
+    ExperimentRunner runner(cfg.jobs, make_progress(cfg));
+    traces.prefetch(bms, runner);
+    std::vector<Outcome<ReplayResult>> out =
+        runner.map(points.size(), [&](std::size_t i) {
+            const Point &p = points[i];
+            ReplayJob job;
+            job.scheme = p.scheme;
+            job.threshold = spec.thresholds().front();
+            job.approx_ratio = spec.approxRatios().front();
+            job.load = spec.loads().front();
+            job.max_records = cfg.max_records;
+            job.seed = derive_seed(cfg.base_seed, i);
+            job.flit_bits = p.width;
+            return run_replay(traces.get(p.bm), job);
+        });
+
     Table t({"benchmark", "scheme", "flit_bits", "compr_ratio",
              "flit_reduction", "latency"});
-
+    std::size_t idx = 0;
     for (const auto &bm : bms) {
         const CommTrace &trace = traces.get(bm);
-        for (unsigned width : {32u, 64u, 128u}) {
+        std::uint64_t data_pkts = 0;
+        for (std::size_t i = 0;
+             i < std::min(trace.size(), cfg.max_records); ++i)
+            data_pkts += trace.records()[i].cls == PacketClass::Data ? 1 : 0;
+        for (unsigned width : widths) {
             // Baseline flit count at this width, analytically: every
             // data packet is 1 head + ceil(512 / width) payload flits.
-            std::uint64_t data_pkts = 0;
-            for (std::size_t i = 0;
-                 i < std::min(trace.size(), opt.max_records); ++i)
-                data_pkts +=
-                    trace.records()[i].cls == PacketClass::Data ? 1 : 0;
             std::uint64_t base =
                 data_pkts * (1 + (512 + width - 1) / width);
-
-            for (Scheme s :
-                 {Scheme::DiVaxx, Scheme::FpComp, Scheme::FpVaxx}) {
-                Point p = run_width(trace, s, width, base, opt);
+            for ([[maybe_unused]] Scheme s : schemes) {
+                const Point &p = points[idx];
+                const Outcome<ReplayResult> &o = out[idx];
+                ++idx;
+                if (!o.ok) {
+                    t.row()
+                        .cell(p.bm)
+                        .cell(to_string(p.scheme))
+                        .cell(static_cast<long>(p.width))
+                        .cell(std::string("FAILED"))
+                        .cell(std::string("-"))
+                        .cell(std::string("-"));
+                    continue;
+                }
+                const ReplayResult &r = o.value;
+                double reduction =
+                    base ? 1.0 - static_cast<double>(r.data_flits) /
+                                     static_cast<double>(base)
+                         : 0.0;
                 t.row()
-                    .cell(bm)
-                    .cell(to_string(s))
-                    .cell(static_cast<long>(width))
-                    .cell(p.compr_ratio, 3)
-                    .cell(p.flit_reduction, 3)
-                    .cell(p.total_lat, 2);
+                    .cell(p.bm)
+                    .cell(to_string(p.scheme))
+                    .cell(static_cast<long>(p.width))
+                    .cell(r.compression_ratio, 3)
+                    .cell(reduction, 3)
+                    .cell(r.total_lat, 2);
             }
         }
     }
-    emit(t, opt, "ablation_flit_width");
+    emit(t, spec, "ablation_flit_width");
     return 0;
 }

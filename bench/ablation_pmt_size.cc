@@ -8,90 +8,79 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "common/log.h"
-
-#include <algorithm>
 #include "power/area_model.h"
 
 using namespace approxnoc;
 using namespace approxnoc::bench;
 
-namespace {
-
-ReplayResult
-run_with_pmt(const CommTrace &trace, Scheme scheme, std::size_t entries,
-             const BenchOptions &opt)
-{
-    NocConfig ncfg;
-    CodecConfig cc;
-    cc.n_nodes = ncfg.nodes();
-    cc.error_threshold_pct = opt.error_threshold_pct;
-    cc.dict.pmt_entries = entries;
-    auto codec = make_codec(scheme, cc);
-    Network net(ncfg, codec.get());
-    Simulator sim;
-    net.attach(sim);
-
-    CommTrace capped;
-    for (const auto &b : trace.blocks())
-        capped.addBlock(b);
-    for (std::size_t i = 0; i < std::min(trace.size(), opt.max_records);
-         ++i)
-        capped.add(trace.records()[i]);
-    double natural = TraceLibrary::naturalLoad(capped, ncfg.nodes());
-    TraceReplay replay(net, capped,
-                       natural > 0 ? natural / opt.target_load : 1.0,
-                       opt.approx_ratio);
-    sim.add(&replay);
-    bool ok = sim.runUntil(
-        [&] { return replay.done() && net.drained(); },
-        static_cast<Cycle>(2e8));
-    ANOC_ASSERT(ok, "replay did not finish");
-
-    ReplayResult r;
-    r.total_lat = net.stats().total_lat.mean();
-    r.compression_ratio = net.stats().quality.compressionRatio();
-    r.exact_fraction = net.stats().quality.exactEncodedFraction();
-    r.approx_fraction = net.stats().quality.approxEncodedFraction();
-    return r;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt =
-        BenchOptions::parse(argc, argv, "Ablation: dictionary PMT size");
-    print_banner("Ablation (dictionary PMT size sweep)", opt);
+    ExperimentSpec spec =
+        ExperimentSpec::Builder()
+            .fromCli(argc, argv, "Ablation: dictionary PMT size")
+            .build();
+    const ExperimentConfig &cfg = spec.config();
+    print_banner("Ablation (dictionary PMT size sweep)", spec);
 
     std::vector<std::string> bms = {"blackscholes", "streamcluster"};
-    if (opt.benchmarks.size() < workload_names().size())
-        bms = opt.benchmarks;
+    if (spec.benchmarks().size() < workload_names().size())
+        bms = spec.benchmarks();
 
-    TraceLibrary traces(opt.scale);
+    const Scheme schemes[] = {Scheme::DiComp, Scheme::DiVaxx};
+    const std::size_t sizes[] = {4u, 8u, 16u, 32u};
+
+    struct Point {
+        std::string bm;
+        Scheme scheme;
+        std::size_t entries;
+    };
+    std::vector<Point> points;
+    for (const auto &bm : bms)
+        for (Scheme s : schemes)
+            for (std::size_t entries : sizes)
+                points.push_back({bm, s, entries});
+
+    TraceLibrary traces(cfg.scale);
+    ExperimentRunner runner(cfg.jobs, make_progress(cfg));
+    traces.prefetch(bms, runner);
+    std::vector<Outcome<ReplayResult>> out =
+        runner.map(points.size(), [&](std::size_t i) {
+            const Point &p = points[i];
+            ReplayJob job;
+            job.scheme = p.scheme;
+            job.threshold = spec.thresholds().front();
+            job.approx_ratio = spec.approxRatios().front();
+            job.load = spec.loads().front();
+            job.max_records = cfg.max_records;
+            job.seed = derive_seed(cfg.base_seed, i);
+            job.pmt_entries = p.entries;
+            return run_replay(traces.get(p.bm), job);
+        });
+
     Table t({"benchmark", "scheme", "pmt_entries", "encoded_frac",
              "compr_ratio", "latency", "encoder_mm2"});
-
-    for (const auto &bm : bms) {
-        const CommTrace &trace = traces.get(bm);
-        for (Scheme s : {Scheme::DiComp, Scheme::DiVaxx}) {
-            for (std::size_t entries : {4u, 8u, 16u, 32u}) {
-                ReplayResult r = run_with_pmt(trace, s, entries, opt);
-                DictionaryConfig dict;
-                dict.pmt_entries = entries;
-                dict.n_nodes = 32;
-                t.row()
-                    .cell(bm)
-                    .cell(to_string(s))
-                    .cell(static_cast<long>(entries))
-                    .cell(r.exact_fraction + r.approx_fraction, 3)
-                    .cell(r.compression_ratio, 3)
-                    .cell(r.total_lat, 2)
-                    .cell(encoder_area_mm2(s, dict, 32), 5);
-            }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        DictionaryConfig dict;
+        dict.pmt_entries = p.entries;
+        dict.n_nodes = 32;
+        auto row = t.row();
+        row.cell(p.bm)
+            .cell(to_string(p.scheme))
+            .cell(static_cast<long>(p.entries));
+        if (out[i].ok) {
+            const ReplayResult &r = out[i].value;
+            row.cell(r.exact_fraction + r.approx_fraction, 3)
+                .cell(r.compression_ratio, 3)
+                .cell(r.total_lat, 2);
+        } else {
+            row.cell(std::string("FAILED"))
+                .cell(std::string("-"))
+                .cell(std::string("-"));
         }
+        row.cell(encoder_area_mm2(p.scheme, dict, 32), 5);
     }
-    emit(t, opt, "ablation_pmt_size");
+    emit(t, spec, "ablation_pmt_size");
     return 0;
 }

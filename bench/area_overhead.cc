@@ -15,9 +15,11 @@ using namespace approxnoc::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt =
-        BenchOptions::parse(argc, argv, "Sec 5.5: encoder area overhead");
-    print_banner("Section 5.5 (encoder area overhead, 45 nm)", opt);
+    ExperimentSpec spec =
+        ExperimentSpec::Builder()
+            .fromCli(argc, argv, "Sec 5.5: encoder area overhead")
+            .build();
+    print_banner("Section 5.5 (encoder area overhead, 45 nm)", spec);
 
     DictionaryConfig dict;
     dict.n_nodes = 32;
@@ -29,6 +31,6 @@ main(int argc, char **argv)
                                                   : "-";
         t.row().cell(to_string(s)).cell(a, 5).cell(paper);
     }
-    emit(t, opt, "area_overhead");
+    emit(t, spec, "area_overhead");
     return 0;
 }

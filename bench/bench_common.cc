@@ -3,192 +3,95 @@
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
-#include <sstream>
 
 #include "common/log.h"
 
 namespace approxnoc::bench {
 
+void
+emit(const Table &t, const ExperimentSpec &spec, const std::string &name)
+{
+    harness::emit_table(t, spec.config(), name);
+}
+
+// ------------------------------------------------------------------------
+// Deprecated pre-harness API shims.
+// ------------------------------------------------------------------------
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv, const std::string &what)
 {
-    CliArgs args(argc, argv);
-    if (args.has("help")) {
-        std::printf(
-            "%s\n"
-            "Flags:\n"
-            "  --benchmarks=<all|name,name,...>  (default all)\n"
-            "  --schemes=<all|name,name,...>     (default all)\n"
-            "  --threshold=<pct>                 error threshold (10)\n"
-            "  --approx-ratio=<0..1>             approximable ratio (0.75)\n"
-            "  --max-records=<n>                 trace replay cap (20000)\n"
-            "  --load=<flits/cycle/node>         replay target load (0.04)\n"
-            "  --cycles=<n>                      synthetic run length (50000)\n"
-            "  --scale=<n>                       workload size multiplier (1)\n"
-            "  --csv-dir=<dir>                   CSV output dir (results)\n"
-            "  --verbose                         chatty logging\n",
-            what.c_str());
-        std::exit(0);
-    }
+    // Reuse the harness CLI front end (it accepts a superset of the old
+    // flags), then flatten back into the legacy struct.
+    ExperimentSpec spec =
+        ExperimentSpec::Builder().fromCli(argc, argv, what).build();
     BenchOptions opt;
-    opt.benchmarks = parse_benchmarks(args.getString("benchmarks", "all"));
-    opt.schemes = parse_schemes(args.getString("schemes", "all"));
-    opt.error_threshold_pct = args.getDouble("threshold", 10.0);
-    opt.approx_ratio = args.getDouble("approx-ratio", 0.75);
-    opt.max_records =
-        static_cast<std::size_t>(args.getInt("max-records", 20000));
-    opt.target_load = args.getDouble("load", 0.04);
-    opt.cycles = static_cast<Cycle>(args.getInt("cycles", 50000));
-    opt.scale = static_cast<unsigned>(args.getInt("scale", 1));
-    opt.csv_dir = args.getString("csv-dir", "results");
-    opt.verbose = args.getBool("verbose", false);
-    set_verbose(opt.verbose);
+    opt.benchmarks = spec.benchmarks();
+    opt.schemes = spec.schemes();
+    opt.error_threshold_pct = spec.thresholds().front();
+    opt.approx_ratio = spec.approxRatios().front();
+    opt.max_records = spec.config().max_records;
+    opt.target_load = spec.loads().front();
+    opt.cycles = spec.config().cycles;
+    opt.scale = spec.config().scale;
+    opt.csv_dir = spec.config().csv_dir;
+    opt.verbose = spec.config().verbose;
     return opt;
+}
+
+ExperimentSpec
+BenchOptions::toSpec() const
+{
+    return ExperimentSpec::Builder()
+        .benchmarks(benchmarks)
+        .schemes(schemes)
+        .threshold(error_threshold_pct)
+        .approxRatio(approx_ratio)
+        .load(target_load)
+        .maxRecords(max_records)
+        .cycles(cycles)
+        .scale(scale)
+        .csvDir(csv_dir)
+        .verbose(verbose)
+        .build();
 }
 
 void
 print_banner(const std::string &figure, const BenchOptions &opt)
 {
-    std::printf("== APPROX-NoC reproduction: %s ==\n", figure.c_str());
-    std::printf(
-        "config: 4x4 concentrated 2D mesh (32 nodes), 3-stage routers, "
-        "4 VCs x 4 flits, 64-bit flits, XY wormhole\n");
-    std::printf("        error threshold %.0f%%, approximable ratio %.0f%%, "
-                "8-entry PMTs\n\n",
-                opt.error_threshold_pct, opt.approx_ratio * 100.0);
+    harness::print_banner(figure, opt.toSpec());
 }
 
 void
 emit(const Table &t, const BenchOptions &opt, const std::string &name)
 {
-    t.print(std::cout);
-    std::error_code ec;
-    std::filesystem::create_directories(opt.csv_dir, ec);
-    if (!ec)
-        t.writeCsv(opt.csv_dir + "/" + name + ".csv");
-    std::printf("\n[csv: %s/%s.csv]\n", opt.csv_dir.c_str(), name.c_str());
-}
-
-const CommTrace &
-TraceLibrary::get(const std::string &benchmark)
-{
-    auto it = traces_.find(benchmark);
-    if (it != traces_.end())
-        return it->second;
-
-    // The paper's trace-collection step: run the kernel through the
-    // coherent cache model with a precise codec, recording every miss
-    // request/response and writeback as a packet.
-    CacheConfig ccfg; // 16 cores + 16 homes = Table 1's 32 endpoints
-    ApproxCacheSystem mem(ccfg, nullptr);
-    CommTrace trace;
-    mem.setTraceSink(&trace);
-    auto wl = make_workload(benchmark, scale_);
-    wl->run(mem);
-    auto [pos, _] = traces_.emplace(benchmark, std::move(trace));
-    ANOC_INFORM("trace ", benchmark, ": ", pos->second.size(), " records, ",
-                pos->second.duration(), " cycles");
-    return pos->second;
-}
-
-double
-TraceLibrary::naturalLoad(const CommTrace &t, unsigned n_nodes)
-{
-    if (t.duration() == 0)
-        return 0.0;
-    std::uint64_t flits = 0;
-    for (const auto &r : t.records())
-        flits += r.cls == PacketClass::Data ? 9 : 1;
-    return static_cast<double>(flits) /
-           (static_cast<double>(t.duration()) * n_nodes);
+    ExperimentConfig cfg;
+    cfg.csv_dir = opt.csv_dir;
+    harness::emit_table(t, cfg, name);
 }
 
 ReplayResult
 replay_trace(const CommTrace &trace, Scheme scheme, const BenchOptions &opt)
 {
-    NocConfig ncfg; // Table 1
-    CodecConfig cc;
-    cc.n_nodes = ncfg.nodes();
-    cc.error_threshold_pct = opt.error_threshold_pct;
-    auto codec = make_codec(scheme, cc);
-
-    Network net(ncfg, codec.get());
-    Simulator sim;
-    net.attach(sim);
-
-    // Cap the replayed portion of the trace for bounded runtime.
-    CommTrace capped;
-    if (trace.size() > opt.max_records) {
-        // Rebuild the prefix (block indices are preserved by copying
-        // the pool wholesale).
-        for (const auto &b : trace.blocks())
-            capped.addBlock(b);
-        for (std::size_t i = 0; i < opt.max_records; ++i)
-            capped.add(trace.records()[i]);
-    }
-    const CommTrace &use = trace.size() > opt.max_records ? capped : trace;
-
-    // Normalize the offered load of the *replayed* portion.
-    double natural = TraceLibrary::naturalLoad(use, ncfg.nodes());
-    double time_scale =
-        natural > 0 && opt.target_load > 0 ? natural / opt.target_load : 1.0;
-
-    TraceReplay replay(net, use, time_scale, opt.approx_ratio);
-    sim.add(&replay);
-
-    bool done = sim.runUntil(
-        [&] { return replay.done() && net.drained(); },
-        static_cast<Cycle>(2e8));
-    ANOC_ASSERT(done, "replay failed to finish");
-
-    const NetworkStats &s = net.stats();
-    ReplayResult r;
-    r.queue_lat = s.queue_lat.mean();
-    r.net_lat = s.net_lat.mean();
-    r.decode_lat = s.decode_lat.mean();
-    r.total_lat = s.total_lat.mean();
-    r.quality = s.quality.dataQuality();
-    r.exact_fraction = s.quality.exactEncodedFraction();
-    r.approx_fraction = s.quality.approxEncodedFraction();
-    r.compression_ratio = s.quality.compressionRatio();
-    r.data_flits = net.dataFlitsInjected();
-    r.packets = s.packets_delivered.value();
-    r.elapsed = sim.now();
-    PowerModel pm;
-    r.dynamic_power_mw = pm.dynamicPowerMw(net, sim.now());
-    return r;
+    ReplayJob job;
+    job.scheme = scheme;
+    job.threshold = opt.error_threshold_pct;
+    job.approx_ratio = opt.approx_ratio;
+    job.load = opt.target_load;
+    job.max_records = opt.max_records;
+    return run_replay(trace, job);
 }
 
 std::vector<Scheme>
 parse_schemes(const std::string &s)
 {
-    if (s == "all")
-        return {kAllSchemes, kAllSchemes + 5};
-    std::vector<Scheme> out;
-    std::stringstream ss(s);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        out.push_back(scheme_from_string(item));
-    if (out.empty())
-        ANOC_FATAL("no schemes selected");
-    return out;
+    return harness::parse_scheme_list(s);
 }
 
 std::vector<std::string>
 parse_benchmarks(const std::string &s)
 {
-    if (s == "all")
-        return workload_names();
-    std::vector<std::string> out;
-    std::stringstream ss(s);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        make_workload(item); // validates the name
-        out.push_back(item);
-    }
-    if (out.empty())
-        ANOC_FATAL("no benchmarks selected");
-    return out;
+    return harness::parse_benchmark_list(s);
 }
 
 } // namespace approxnoc::bench

@@ -1,14 +1,15 @@
 /**
  * @file
- * Shared infrastructure for the per-figure bench harnesses: paper
- * configuration, trace generation from the workload kernels, trace
- * replay through the NoC under each scheme, and result table output.
+ * Shared infrastructure for the per-figure bench harnesses, re-exported
+ * from the src/harness experiment subsystem: the ExperimentSpec fluent
+ * builder (CLI-integrated), the parallel Experiment runner, the
+ * thread-safe TraceLibrary, the replay point executor and the CSV+JSON
+ * table emitter. The pre-harness BenchOptions API survives one more PR
+ * as thin deprecated shims at the bottom.
  */
 #ifndef APPROXNOC_BENCH_BENCH_COMMON_H
 #define APPROXNOC_BENCH_BENCH_COMMON_H
 
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/codec_factory.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
 #include "noc/network.h"
 #include "power/power_model.h"
 #include "sim/simulator.h"
@@ -25,7 +28,41 @@
 
 namespace approxnoc::bench {
 
-/** Everything a figure harness needs to run one experiment. */
+// The unified experiment API, re-exported for harness binaries.
+using harness::Experiment;
+using harness::ExperimentConfig;
+using harness::ExperimentPoint;
+using harness::ExperimentRunner;
+using harness::ExperimentSpec;
+using harness::Outcome;
+using harness::PointQuery;
+using harness::PointResult;
+using harness::ReplayJob;
+using harness::ReplayResult;
+using harness::ResultSink;
+using harness::TraceLibrary;
+
+using harness::derive_seed;
+using harness::emit_table;
+using harness::make_progress;
+using harness::parse_benchmark_list;
+using harness::parse_scheme_list;
+using harness::print_banner;
+using harness::run_replay;
+using harness::run_replay_point;
+
+/** emit_table under the figure's name (CSV + JSON alongside). */
+void emit(const Table &t, const ExperimentSpec &spec,
+          const std::string &name);
+
+// ------------------------------------------------------------------------
+// Deprecated pre-harness API (kept as shims for one PR).
+// ------------------------------------------------------------------------
+
+/**
+ * Everything a figure harness needed to run one experiment.
+ * @deprecated Use ExperimentSpec::Builder / Experiment instead.
+ */
 struct BenchOptions {
     std::vector<std::string> benchmarks; ///< subset of workload_names()
     std::vector<Scheme> schemes;         ///< subset of kAllSchemes
@@ -41,63 +78,26 @@ struct BenchOptions {
     /** Parse the common flags; prints usage and exits on --help. */
     static BenchOptions parse(int argc, char **argv,
                               const std::string &what);
+
+    /** The equivalent single-point-per-combination spec. */
+    ExperimentSpec toSpec() const;
 };
 
-/** Print the Table-1 style header every harness emits. */
+/** @deprecated Use print_banner(figure, spec). */
 void print_banner(const std::string &figure, const BenchOptions &opt);
 
-/** Write @p t as results CSV (best effort) and print it. */
+/** @deprecated Use emit(t, spec, name) / harness::emit_table. */
 void emit(const Table &t, const BenchOptions &opt, const std::string &name);
 
-/**
- * Communication-trace cache: traces are generated once per benchmark
- * by running the kernel through the cache model with a precise codec
- * and a trace sink (the paper's gem5 trace-collection step).
- */
-class TraceLibrary
-{
-  public:
-    explicit TraceLibrary(unsigned scale = 1) : scale_(scale) {}
-
-    /** The trace for @p benchmark (generated and cached on demand). */
-    const CommTrace &get(const std::string &benchmark);
-
-    /** Natural offered load of a trace in data-flits/cycle/node. */
-    static double naturalLoad(const CommTrace &t, unsigned n_nodes);
-
-  private:
-    unsigned scale_;
-    std::map<std::string, CommTrace> traces_;
-};
-
-/** Results of one trace replay through the NoC. */
-struct ReplayResult {
-    double queue_lat = 0.0;
-    double net_lat = 0.0;
-    double decode_lat = 0.0;
-    double total_lat = 0.0;
-    double quality = 1.0;          ///< data value quality
-    double exact_fraction = 0.0;   ///< Fig. 10a
-    double approx_fraction = 0.0;  ///< Fig. 10a
-    double compression_ratio = 1.0; ///< Fig. 10b
-    std::uint64_t data_flits = 0;  ///< Fig. 11
-    std::uint64_t packets = 0;
-    double dynamic_power_mw = 0.0; ///< Fig. 15
-    Cycle elapsed = 0;
-};
-
-/**
- * Replay @p trace under @p scheme on the paper's 4x4 cmesh.
- * Timestamps are scaled so the offered load matches
- * @p opt.target_load; at most opt.max_records records are injected and
- * the network is drained afterwards.
- */
+/** @deprecated Use harness::run_replay. */
 ReplayResult replay_trace(const CommTrace &trace, Scheme scheme,
                           const BenchOptions &opt);
 
-/** Scheme list parsing ("all" or comma-separated names). */
+/** @deprecated Use harness::parse_scheme_list. */
+[[deprecated("use harness::parse_scheme_list")]]
 std::vector<Scheme> parse_schemes(const std::string &s);
-/** Benchmark list parsing ("all" or comma-separated names). */
+/** @deprecated Use harness::parse_benchmark_list. */
+[[deprecated("use harness::parse_benchmark_list")]]
 std::vector<std::string> parse_benchmarks(const std::string &s);
 
 } // namespace approxnoc::bench

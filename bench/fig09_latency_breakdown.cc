@@ -16,20 +16,33 @@ using namespace approxnoc::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv, "Figure 9: latency breakdown + data quality");
-    print_banner("Figure 9 (latency breakdown, data quality)", opt);
+    Experiment ex(ExperimentSpec::Builder()
+                      .fromCli(argc, argv,
+                               "Figure 9: latency breakdown + data quality")
+                      .build());
+    print_banner("Figure 9 (latency breakdown, data quality)", ex.spec());
+    ex.run();
 
-    TraceLibrary traces(opt.scale);
     Table t({"benchmark", "scheme", "queue_lat", "net_lat", "decode_lat",
              "total_lat", "data_quality"});
 
     std::map<Scheme, std::vector<double>> avg_lat;
     std::map<Scheme, std::vector<double>> avg_q;
-    for (const auto &bm : opt.benchmarks) {
-        const CommTrace &trace = traces.get(bm);
-        for (Scheme s : opt.schemes) {
-            ReplayResult r = replay_trace(trace, s, opt);
+    for (const auto &bm : ex.spec().benchmarks()) {
+        for (Scheme s : ex.spec().schemes()) {
+            const PointResult &pr = ex.result({.benchmark = bm, .scheme = s});
+            if (!pr.ok) {
+                t.row()
+                    .cell(bm)
+                    .cell(to_string(s))
+                    .cell(std::string("FAILED"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"));
+                continue;
+            }
+            const ReplayResult &r = pr.replay;
             t.row()
                 .cell(bm)
                 .cell(to_string(s))
@@ -42,7 +55,9 @@ main(int argc, char **argv)
             avg_q[s].push_back(r.quality);
         }
     }
-    for (Scheme s : opt.schemes) {
+    for (Scheme s : ex.spec().schemes()) {
+        if (avg_lat[s].empty())
+            continue;
         double lat = 0, q = 0;
         for (double v : avg_lat[s])
             lat += v;
@@ -58,6 +73,6 @@ main(int argc, char **argv)
             .cell(lat / n, 2)
             .cell(q / n, 4);
     }
-    emit(t, opt, "fig09_latency_breakdown");
+    emit(t, ex.spec(), "fig09_latency_breakdown");
     return 0;
 }

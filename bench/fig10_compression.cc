@@ -10,6 +10,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "common/log.h"
 
 using namespace approxnoc;
 using namespace approxnoc::bench;
@@ -17,26 +18,41 @@ using namespace approxnoc::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv, "Figure 10: encoded-word fraction + compression ratio");
-    print_banner("Figure 10 (encoded fraction, compression ratio)", opt);
-
+    ExperimentSpec::Builder builder;
+    builder.fromCli(argc, argv,
+                    "Figure 10: encoded-word fraction + compression ratio");
     // The paper plots the four compression schemes (no Baseline bar).
+    ExperimentSpec cli = builder.build();
     std::vector<Scheme> schemes;
-    for (Scheme s : opt.schemes)
+    for (Scheme s : cli.schemes())
         if (s != Scheme::Baseline)
             schemes.push_back(s);
+    if (schemes.empty())
+        ANOC_FATAL("Figure 10 needs at least one non-Baseline scheme");
+    Experiment ex(builder.schemes(schemes).build());
+    print_banner("Figure 10 (encoded fraction, compression ratio)",
+                 ex.spec());
+    ex.run();
 
-    TraceLibrary traces(opt.scale);
     Table t({"benchmark", "scheme", "exact_frac", "approx_frac",
              "encoded_frac", "compr_ratio"});
 
     std::map<Scheme, std::pair<double, double>> gmean; // log sums
     std::map<Scheme, std::size_t> count;
-    for (const auto &bm : opt.benchmarks) {
-        const CommTrace &trace = traces.get(bm);
-        for (Scheme s : schemes) {
-            ReplayResult r = replay_trace(trace, s, opt);
+    for (const auto &bm : ex.spec().benchmarks()) {
+        for (Scheme s : ex.spec().schemes()) {
+            const PointResult &pr = ex.result({.benchmark = bm, .scheme = s});
+            if (!pr.ok) {
+                t.row()
+                    .cell(bm)
+                    .cell(to_string(s))
+                    .cell(std::string("FAILED"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"));
+                continue;
+            }
+            const ReplayResult &r = pr.replay;
             t.row()
                 .cell(bm)
                 .cell(to_string(s))
@@ -50,7 +66,9 @@ main(int argc, char **argv)
             ++count[s];
         }
     }
-    for (Scheme s : schemes) {
+    for (Scheme s : ex.spec().schemes()) {
+        if (!count[s])
+            continue;
         double n = static_cast<double>(count[s]);
         t.row()
             .cell(std::string("GMEAN"))
@@ -60,6 +78,6 @@ main(int argc, char **argv)
             .cell(std::exp(gmean[s].first / n), 3)
             .cell(std::exp(gmean[s].second / n), 3);
     }
-    emit(t, opt, "fig10_compression");
+    emit(t, ex.spec(), "fig10_compression");
     return 0;
 }

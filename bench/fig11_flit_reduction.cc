@@ -14,20 +14,30 @@ using namespace approxnoc::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv, "Figure 11: normalized data flits injected");
-    print_banner("Figure 11 (data flit reduction)", opt);
+    Experiment ex(ExperimentSpec::Builder()
+                      .fromCli(argc, argv,
+                               "Figure 11: normalized data flits injected")
+                      .build());
+    print_banner("Figure 11 (data flit reduction)", ex.spec());
+    ex.run();
 
-    TraceLibrary traces(opt.scale);
     Table t({"benchmark", "scheme", "data_flits", "normalized"});
 
     std::map<Scheme, double> sums;
-    std::size_t rows = 0;
-    for (const auto &bm : opt.benchmarks) {
-        const CommTrace &trace = traces.get(bm);
+    std::map<Scheme, std::size_t> counts;
+    for (const auto &bm : ex.spec().benchmarks()) {
         std::uint64_t base_flits = 0;
-        for (Scheme s : opt.schemes) {
-            ReplayResult r = replay_trace(trace, s, opt);
+        for (Scheme s : ex.spec().schemes()) {
+            const PointResult &pr = ex.result({.benchmark = bm, .scheme = s});
+            if (!pr.ok) {
+                t.row()
+                    .cell(bm)
+                    .cell(to_string(s))
+                    .cell(std::string("FAILED"))
+                    .cell(std::string("-"));
+                continue;
+            }
+            const ReplayResult &r = pr.replay;
             if (s == Scheme::Baseline)
                 base_flits = r.data_flits;
             double norm = base_flits
@@ -40,16 +50,18 @@ main(int argc, char **argv)
                 .cell(static_cast<long>(r.data_flits))
                 .cell(norm, 3);
             sums[s] += norm;
+            ++counts[s];
         }
-        ++rows;
     }
-    for (Scheme s : opt.schemes) {
+    for (Scheme s : ex.spec().schemes()) {
+        if (!counts[s])
+            continue;
         t.row()
             .cell(std::string("AVG"))
             .cell(to_string(s))
             .cell(std::string("-"))
-            .cell(sums[s] / static_cast<double>(rows), 3);
+            .cell(sums[s] / static_cast<double>(counts[s]), 3);
     }
-    emit(t, opt, "fig11_flit_reduction");
+    emit(t, ex.spec(), "fig11_flit_reduction");
     return 0;
 }

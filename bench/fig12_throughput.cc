@@ -20,13 +20,15 @@ namespace {
 /** Latency at one offered load; negative when saturated. */
 double
 measure_point(Scheme scheme, TrafficPattern pattern, double rate,
-              const std::vector<DataBlock> &blocks, const BenchOptions &opt)
+              const std::vector<DataBlock> &blocks,
+              const ExperimentConfig &cfg, double threshold,
+              double approx_ratio)
 {
     NocConfig ncfg;
     CodecConfig cc;
     cc.n_nodes = ncfg.nodes();
-    cc.error_threshold_pct = opt.error_threshold_pct;
-    auto codec = make_codec(scheme, cc);
+    cc.error_threshold_pct = threshold;
+    auto codec = CodecFactory::create(scheme, cc);
     Network net(ncfg, codec.get());
     Simulator sim;
     net.attach(sim);
@@ -35,17 +37,17 @@ measure_point(Scheme scheme, TrafficPattern pattern, double rate,
     tc.injection_rate = rate;
     tc.data_packet_ratio = 0.25; // paper Fig. 12: 25:75
     tc.pattern = pattern;
-    tc.approx_ratio = opt.approx_ratio;
+    tc.approx_ratio = approx_ratio;
     TraceDataProvider provider(blocks);
     SyntheticTraffic gen(net, tc, provider);
     sim.add(&gen);
 
     // BookSim-style methodology: warm up, reset the series, measure.
-    Cycle warmup = opt.cycles / 5;
+    Cycle warmup = cfg.cycles / 5;
     sim.run(warmup);
     net.stats().reset();
     std::uint64_t offered0 = gen.packetsOffered();
-    sim.run(opt.cycles - warmup);
+    sim.run(cfg.cycles - warmup);
 
     // Saturation detection: offered vs delivered and queue blow-up.
     double avg = net.stats().total_lat.mean();
@@ -56,53 +58,86 @@ measure_point(Scheme scheme, TrafficPattern pattern, double rate,
     return avg;
 }
 
+struct Point {
+    std::string bm;
+    TrafficPattern pattern;
+    Scheme scheme;
+    double rate;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt =
-        BenchOptions::parse(argc, argv, "Figure 12: throughput curves");
+    ExperimentSpec spec =
+        ExperimentSpec::Builder()
+            .fromCli(argc, argv, "Figure 12: throughput curves")
+            .build();
+    const ExperimentConfig &cfg = spec.config();
     print_banner("Figure 12 (load-latency, UR & TR, 25:75 data:control)",
-                 opt);
+                 spec);
 
     std::vector<std::string> bms = {"blackscholes", "streamcluster"};
-    if (opt.benchmarks.size() < workload_names().size())
-        bms = opt.benchmarks; // user narrowed the set
+    if (spec.benchmarks().size() < workload_names().size())
+        bms = spec.benchmarks(); // user narrowed the set
 
     // Finer steps near saturation so scheme crossover points resolve.
     const std::vector<double> rates = {0.05, 0.15, 0.25, 0.35, 0.40,
                                        0.45, 0.50, 0.55, 0.60, 0.65,
                                        0.70};
+    const TrafficPattern patterns[] = {TrafficPattern::UniformRandom,
+                                       TrafficPattern::Transpose};
 
-    TraceLibrary traces(opt.scale);
+    // Flat job list (rate-innermost, matching the output row order);
+    // saturation is applied per series after the parallel run, so a
+    // series' points past its first saturated rate print "sat" exactly
+    // as the sequential short-circuit did.
+    std::vector<Point> points;
+    for (const auto &bm : bms)
+        for (TrafficPattern pat : patterns)
+            for (Scheme s : spec.schemes())
+                for (double rate : rates)
+                    points.push_back({bm, pat, s, rate});
+
+    TraceLibrary traces(cfg.scale);
+    ExperimentRunner runner(cfg.jobs, make_progress(cfg));
+    std::vector<Outcome<double>> out =
+        runner.map(points.size(), [&](std::size_t i) {
+            const Point &p = points[i];
+            return measure_point(p.scheme, p.pattern, p.rate,
+                                 traces.get(p.bm).blocks(), cfg,
+                                 spec.thresholds().front(),
+                                 spec.approxRatios().front());
+        });
+
     Table t({"benchmark", "pattern", "scheme", "rate", "latency"});
-    for (const auto &bm : bms) {
-        const CommTrace &trace = traces.get(bm);
-        for (TrafficPattern pat :
-             {TrafficPattern::UniformRandom, TrafficPattern::Transpose}) {
-            for (Scheme s : opt.schemes) {
+    std::size_t idx = 0;
+    for ([[maybe_unused]] const auto &bm : bms) {
+        for ([[maybe_unused]] TrafficPattern pat : patterns) {
+            for ([[maybe_unused]] Scheme s : spec.schemes()) {
                 bool saturated = false;
-                for (double rate : rates) {
+                for ([[maybe_unused]] double rate : rates) {
+                    const Point &p = points[idx];
+                    const Outcome<double> &o = out[idx];
+                    ++idx;
                     std::string lat = "sat";
-                    if (!saturated) {
-                        double v =
-                            measure_point(s, pat, rate, trace.blocks(), opt);
-                        if (v < 0)
-                            saturated = true;
-                        else
-                            lat = fmt(v, 2);
-                    }
+                    if (!o.ok)
+                        lat = "FAILED";
+                    else if (!saturated && o.value >= 0)
+                        lat = fmt(o.value, 2);
+                    else
+                        saturated = true;
                     t.row()
-                        .cell(bm)
-                        .cell(to_string(pat))
-                        .cell(to_string(s))
-                        .cell(rate, 2)
+                        .cell(p.bm)
+                        .cell(to_string(p.pattern))
+                        .cell(to_string(p.scheme))
+                        .cell(p.rate, 2)
                         .cell(lat);
                 }
             }
         }
     }
-    emit(t, opt, "fig12_throughput");
+    emit(t, spec, "fig12_throughput");
     return 0;
 }

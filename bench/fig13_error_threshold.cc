@@ -11,15 +11,36 @@
 using namespace approxnoc;
 using namespace approxnoc::bench;
 
+namespace {
+
+bool
+is_vaxx(Scheme s)
+{
+    return s == Scheme::DiVaxx || s == Scheme::FpVaxx;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv, "Figure 13: error threshold sensitivity");
-    print_banner("Figure 13 (error-threshold sensitivity)", opt);
-
     const std::vector<double> thresholds = {5.0, 10.0, 20.0};
-    TraceLibrary traces(opt.scale);
+
+    // One grid: plain compression at the 0% sentinel threshold, the
+    // VAXX variants at each paper threshold.
+    ExperimentSpec::Builder builder;
+    builder.fromCli(argc, argv, "Figure 13: error threshold sensitivity")
+        .schemes({Scheme::DiComp, Scheme::DiVaxx, Scheme::FpComp,
+                  Scheme::FpVaxx})
+        .thresholds({0.0, 5.0, 10.0, 20.0})
+        .filter([](const ExperimentPoint &p) {
+            return is_vaxx(p.scheme) ? p.threshold > 0.0
+                                     : p.threshold == 0.0;
+        });
+    Experiment ex(builder.build());
+    print_banner("Figure 13 (error-threshold sensitivity)", ex.spec());
+    ex.run();
+
     Table t({"benchmark", "family", "compression", "5%_threshold",
              "10%_threshold", "20%_threshold"});
 
@@ -33,25 +54,26 @@ main(int argc, char **argv)
         {"FP-based", Scheme::FpComp, Scheme::FpVaxx},
     };
 
-    for (const auto &bm : opt.benchmarks) {
-        const CommTrace &trace = traces.get(bm);
+    auto lat_cell = [&](Table::RowBuilder &row, const PointResult &pr) {
+        if (pr.ok)
+            row.cell(pr.replay.total_lat, 2);
+        else
+            row.cell(std::string("FAILED"));
+    };
+
+    for (const auto &bm : ex.spec().benchmarks()) {
         for (const Family &f : families) {
-            BenchOptions o = opt;
-            ReplayResult base = replay_trace(trace, f.compression, o);
-            std::vector<double> lat;
-            for (double th : thresholds) {
-                o.error_threshold_pct = th;
-                lat.push_back(replay_trace(trace, f.vaxx, o).total_lat);
-            }
-            t.row()
-                .cell(bm)
-                .cell(std::string(f.name))
-                .cell(base.total_lat, 2)
-                .cell(lat[0], 2)
-                .cell(lat[1], 2)
-                .cell(lat[2], 2);
+            auto row = t.row();
+            row.cell(bm).cell(std::string(f.name));
+            lat_cell(row, ex.result({.benchmark = bm,
+                                     .scheme = f.compression,
+                                     .threshold = 0.0}));
+            for (double th : thresholds)
+                lat_cell(row, ex.result({.benchmark = bm,
+                                         .scheme = f.vaxx,
+                                         .threshold = th}));
         }
     }
-    emit(t, opt, "fig13_error_threshold");
+    emit(t, ex.spec(), "fig13_error_threshold");
     return 0;
 }

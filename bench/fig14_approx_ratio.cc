@@ -12,15 +12,46 @@
 using namespace approxnoc;
 using namespace approxnoc::bench;
 
+namespace {
+
+bool
+is_vaxx(Scheme s)
+{
+    return s == Scheme::DiVaxx || s == Scheme::FpVaxx;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv, "Figure 14: approximable packet ratio sensitivity");
-    print_banner("Figure 14 (approximable-ratio sensitivity)", opt);
-
     const std::vector<double> ratios = {0.25, 0.50, 0.75};
-    TraceLibrary traces(opt.scale);
+
+    // One grid: plain compression at the CLI ratio, the VAXX variants
+    // at each paper ratio. A -1 sentinel marks the compression runs so
+    // they never collide with a swept value.
+    ExperimentSpec::Builder builder;
+    builder.fromCli(argc, argv,
+                    "Figure 14: approximable packet ratio sensitivity");
+    double base_ratio = builder.build().approxRatios().front();
+    builder
+        .schemes({Scheme::DiComp, Scheme::DiVaxx, Scheme::FpComp,
+                  Scheme::FpVaxx})
+        .approxRatios({-1.0, 0.25, 0.50, 0.75})
+        .filter([](const ExperimentPoint &p) {
+            return is_vaxx(p.scheme) ? p.approx_ratio >= 0.0
+                                     : p.approx_ratio < 0.0;
+        });
+    Experiment ex(builder.build());
+    print_banner("Figure 14 (approximable-ratio sensitivity)", ex.spec());
+    ex.run([&](const ExperimentPoint &pt) {
+        ExperimentPoint run = pt;
+        if (run.approx_ratio < 0.0)
+            run.approx_ratio = base_ratio;
+        return run_replay_point(ex.traces().get(run.benchmark), run,
+                                ex.spec().config());
+    });
+
     Table t({"benchmark", "family", "compression", "25%_approx",
              "50%_approx", "75%_approx"});
 
@@ -34,25 +65,26 @@ main(int argc, char **argv)
         {"FP-based", Scheme::FpComp, Scheme::FpVaxx},
     };
 
-    for (const auto &bm : opt.benchmarks) {
-        const CommTrace &trace = traces.get(bm);
+    auto lat_cell = [&](Table::RowBuilder &row, const PointResult &pr) {
+        if (pr.ok)
+            row.cell(pr.replay.total_lat, 2);
+        else
+            row.cell(std::string("FAILED"));
+    };
+
+    for (const auto &bm : ex.spec().benchmarks()) {
         for (const Family &f : families) {
-            ReplayResult base = replay_trace(trace, f.compression, opt);
-            std::vector<double> lat;
-            for (double ratio : ratios) {
-                BenchOptions o = opt;
-                o.approx_ratio = ratio;
-                lat.push_back(replay_trace(trace, f.vaxx, o).total_lat);
-            }
-            t.row()
-                .cell(bm)
-                .cell(std::string(f.name))
-                .cell(base.total_lat, 2)
-                .cell(lat[0], 2)
-                .cell(lat[1], 2)
-                .cell(lat[2], 2);
+            auto row = t.row();
+            row.cell(bm).cell(std::string(f.name));
+            lat_cell(row, ex.result({.benchmark = bm,
+                                     .scheme = f.compression,
+                                     .approx_ratio = -1.0}));
+            for (double ratio : ratios)
+                lat_cell(row, ex.result({.benchmark = bm,
+                                         .scheme = f.vaxx,
+                                         .approx_ratio = ratio}));
         }
     }
-    emit(t, opt, "fig14_approx_ratio");
+    emit(t, ex.spec(), "fig14_approx_ratio");
     return 0;
 }

@@ -14,22 +14,33 @@ using namespace approxnoc::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt =
-        BenchOptions::parse(argc, argv, "Figure 15: dynamic power");
-    print_banner("Figure 15 (dynamic power, normalized to Baseline)", opt);
+    Experiment ex(ExperimentSpec::Builder()
+                      .fromCli(argc, argv, "Figure 15: dynamic power")
+                      .build());
+    print_banner("Figure 15 (dynamic power, normalized to Baseline)",
+                 ex.spec());
+    ex.run();
 
-    TraceLibrary traces(opt.scale);
     Table t({"benchmark", "scheme", "dyn_power_mw", "normalized",
              "edp_normalized"});
 
     std::map<Scheme, double> sums;
     std::map<Scheme, double> edp_sums;
-    std::size_t rows = 0;
-    for (const auto &bm : opt.benchmarks) {
-        const CommTrace &trace = traces.get(bm);
+    std::map<Scheme, std::size_t> counts;
+    for (const auto &bm : ex.spec().benchmarks()) {
         double base_mw = 0.0, base_lat = 0.0;
-        for (Scheme s : opt.schemes) {
-            ReplayResult r = replay_trace(trace, s, opt);
+        for (Scheme s : ex.spec().schemes()) {
+            const PointResult &pr = ex.result({.benchmark = bm, .scheme = s});
+            if (!pr.ok) {
+                t.row()
+                    .cell(bm)
+                    .cell(to_string(s))
+                    .cell(std::string("FAILED"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"));
+                continue;
+            }
+            const ReplayResult &r = pr.replay;
             if (s == Scheme::Baseline) {
                 base_mw = r.dynamic_power_mw;
                 base_lat = r.total_lat;
@@ -49,17 +60,19 @@ main(int argc, char **argv)
                 .cell(edp, 3);
             sums[s] += norm;
             edp_sums[s] += edp;
+            ++counts[s];
         }
-        ++rows;
     }
-    for (Scheme s : opt.schemes) {
+    for (Scheme s : ex.spec().schemes()) {
+        if (!counts[s])
+            continue;
         t.row()
             .cell(std::string("AVG"))
             .cell(to_string(s))
             .cell(std::string("-"))
-            .cell(sums[s] / static_cast<double>(rows), 3)
-            .cell(edp_sums[s] / static_cast<double>(rows), 3);
+            .cell(sums[s] / static_cast<double>(counts[s]), 3)
+            .cell(edp_sums[s] / static_cast<double>(counts[s]), 3);
     }
-    emit(t, opt, "fig15_power");
+    emit(t, ex.spec(), "fig15_power");
     return 0;
 }

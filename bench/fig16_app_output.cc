@@ -16,17 +16,17 @@ using namespace approxnoc::bench;
 namespace {
 
 WorkloadResult
-run_workload(const std::string &bm, Scheme scheme, double threshold,
-             const BenchOptions &opt)
+run_workload_point(const std::string &bm, Scheme scheme, double threshold,
+                   const ExperimentSpec &spec)
 {
     CacheConfig ccfg; // Sec. 5.4: 16 cores, 64 KB 2-way L1
-    ccfg.approx_ratio = opt.approx_ratio;
+    ccfg.approx_ratio = spec.approxRatios().front();
     CodecConfig cc;
     cc.n_nodes = ccfg.n_nodes;
     cc.error_threshold_pct = threshold;
-    auto codec = make_codec(scheme, cc);
+    auto codec = CodecFactory::create(scheme, cc);
     ApproxCacheSystem mem(ccfg, codec.get());
-    auto wl = make_workload(bm, opt.scale);
+    auto wl = make_workload(bm, spec.config().scale);
     return wl->run(mem);
 }
 
@@ -35,16 +35,19 @@ run_workload(const std::string &bm, Scheme scheme, double threshold,
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv,
-        "Figure 16: application output accuracy + normalized performance");
-    print_banner("Figure 16 (application output error, performance)", opt);
+    ExperimentSpec spec =
+        ExperimentSpec::Builder()
+            .fromCli(argc, argv,
+                     "Figure 16: application output accuracy + "
+                     "normalized performance")
+            .build();
+    print_banner("Figure 16 (application output error, performance)", spec);
     // DI-VAXX by default: approximating to learned reference values
     // surfaces the error-budget sensitivity the paper's Fig. 16 plots
     // (FP-VAXX's static patterns rarely alter integer data at all).
     Scheme scheme = Scheme::DiVaxx;
-    if (opt.schemes.size() < 5) { // user narrowed the scheme set
-        for (Scheme s : opt.schemes)
+    if (spec.schemes().size() < 5) { // user narrowed the scheme set
+        for (Scheme s : spec.schemes())
             if (s == Scheme::DiVaxx || s == Scheme::FpVaxx)
                 scheme = s;
     }
@@ -53,32 +56,62 @@ main(int argc, char **argv)
                 to_string(scheme).c_str());
 
     const std::vector<double> budgets = {0.0, 10.0, 20.0};
+
+    // Per benchmark: one precise run, then one run per budget (the 0%
+    // budget run doubles as the performance-normalization reference).
+    struct Run {
+        std::string bm;
+        Scheme scheme;
+        double threshold;
+    };
+    std::vector<Run> runs;
+    for (const auto &bm : spec.benchmarks()) {
+        runs.push_back({bm, Scheme::Baseline, 0.0});
+        for (double budget : budgets)
+            runs.push_back({bm, scheme, budget});
+    }
+
+    ExperimentRunner runner(spec.config().jobs, make_progress(spec.config()));
+    std::vector<Outcome<WorkloadResult>> out =
+        runner.map(runs.size(), [&](std::size_t i) {
+            const Run &r = runs[i];
+            return run_workload_point(r.bm, r.scheme, r.threshold, spec);
+        });
+
     Table t({"benchmark", "error_budget_pct", "output_error_pct",
              "accuracy_pct", "normalized_performance"});
 
-    for (const auto &bm : opt.benchmarks) {
-        auto wl = make_workload(bm, opt.scale);
-        WorkloadResult precise = run_workload(bm, Scheme::Baseline, 0.0, opt);
-        // 0% budget reference for performance normalization: the same
-        // scheme with approximation disabled (pure compression).
-        WorkloadResult ref = run_workload(bm, scheme, 0.0, opt);
-        for (double budget : budgets) {
-            WorkloadResult r = budget == 0.0
-                                   ? ref
-                                   : run_workload(bm, scheme, budget, opt);
-            double err = wl->outputError(precise, r);
-            double perf = r.exec_cycles
-                              ? static_cast<double>(ref.exec_cycles) /
-                                    static_cast<double>(r.exec_cycles)
-                              : 1.0;
+    const std::size_t per_bm = 1 + budgets.size();
+    for (std::size_t b = 0; b < spec.benchmarks().size(); ++b) {
+        const std::string &bm = spec.benchmarks()[b];
+        auto wl = make_workload(bm, spec.config().scale);
+        const Outcome<WorkloadResult> &precise = out[b * per_bm];
+        const Outcome<WorkloadResult> &ref = out[b * per_bm + 1];
+        for (std::size_t k = 0; k < budgets.size(); ++k) {
+            const Outcome<WorkloadResult> &r = out[b * per_bm + 1 + k];
+            if (!precise.ok || !ref.ok || !r.ok) {
+                t.row()
+                    .cell(bm)
+                    .cell(budgets[k], 0)
+                    .cell(std::string("FAILED"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"));
+                continue;
+            }
+            double err = wl->outputError(precise.value, r.value);
+            double perf =
+                r.value.exec_cycles
+                    ? static_cast<double>(ref.value.exec_cycles) /
+                          static_cast<double>(r.value.exec_cycles)
+                    : 1.0;
             t.row()
                 .cell(bm)
-                .cell(budget, 0)
+                .cell(budgets[k], 0)
                 .cell(err * 100.0, 2)
                 .cell((1.0 - err) * 100.0, 2)
                 .cell(perf, 3);
         }
     }
-    emit(t, opt, "fig16_app_output");
+    emit(t, spec, "fig16_app_output");
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "bench/bench_common.h"
+#include "common/log.h"
 #include "workloads/kernels.h"
 
 using namespace approxnoc;
@@ -29,14 +30,14 @@ write_pgm(const std::string &path, const std::vector<std::uint8_t> &img,
 
 WorkloadResult
 run_bodytrack(BodytrackWorkload &wl, Scheme scheme, double threshold,
-              const BenchOptions &opt)
+              double approx_ratio)
 {
     CacheConfig ccfg;
-    ccfg.approx_ratio = opt.approx_ratio;
+    ccfg.approx_ratio = approx_ratio;
     CodecConfig cc;
     cc.n_nodes = ccfg.n_nodes;
     cc.error_threshold_pct = threshold;
-    auto codec = make_codec(scheme, cc);
+    auto codec = CodecFactory::create(scheme, cc);
     ApproxCacheSystem mem(ccfg, codec.get());
     return wl.run(mem);
 }
@@ -46,23 +47,43 @@ run_bodytrack(BodytrackWorkload &wl, Scheme scheme, double threshold,
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = BenchOptions::parse(
-        argc, argv, "Figure 17: bodytrack precise vs approximate output");
-    print_banner("Figure 17 (bodytrack visual comparison)", opt);
+    ExperimentSpec spec =
+        ExperimentSpec::Builder()
+            .fromCli(argc, argv,
+                     "Figure 17: bodytrack precise vs approximate output")
+            .build();
+    const ExperimentConfig &cfg = spec.config();
+    print_banner("Figure 17 (bodytrack visual comparison)", spec);
 
-    BodytrackWorkload wl(opt.scale);
-    WorkloadResult precise =
-        run_bodytrack(wl, Scheme::Baseline, 0.0, opt);
-    WorkloadResult approx =
-        run_bodytrack(wl, Scheme::FpVaxx, opt.error_threshold_pct, opt);
+    double threshold = spec.thresholds().front();
+    double ratio = spec.approxRatios().front();
+    BodytrackWorkload wl(cfg.scale);
+
+    // The two tracker runs are independent; run them on the pool.
+    ExperimentRunner runner(cfg.jobs, make_progress(cfg));
+    std::vector<Outcome<WorkloadResult>> out =
+        runner.map(2, [&](std::size_t i) {
+            // Each job builds its own workload so the runs stay
+            // isolated regardless of worker count.
+            BodytrackWorkload local(cfg.scale);
+            return i == 0
+                       ? run_bodytrack(local, Scheme::Baseline, 0.0, ratio)
+                       : run_bodytrack(local, Scheme::FpVaxx, threshold,
+                                       ratio);
+        });
+    if (!out[0].ok || !out[1].ok)
+        ANOC_FATAL("bodytrack run failed: ",
+                   out[0].ok ? out[1].error : out[0].error);
+    const WorkloadResult &precise = out[0].value;
+    const WorkloadResult &approx = out[1].value;
 
     std::error_code ec;
-    std::filesystem::create_directories(opt.csv_dir, ec);
+    std::filesystem::create_directories(cfg.csv_dir, ec);
     auto img_p = wl.renderOutput(precise);
     auto img_a = wl.renderOutput(approx);
-    write_pgm(opt.csv_dir + "/fig17_precise.pgm", img_p, wl.imageWidth(),
+    write_pgm(cfg.csv_dir + "/fig17_precise.pgm", img_p, wl.imageWidth(),
               wl.imageHeight());
-    write_pgm(opt.csv_dir + "/fig17_approx.pgm", img_a, wl.imageWidth(),
+    write_pgm(cfg.csv_dir + "/fig17_approx.pgm", img_a, wl.imageWidth(),
               wl.imageHeight());
 
     double err = wl.outputError(precise, approx);
@@ -72,14 +93,13 @@ main(int argc, char **argv)
     pix_diff /= 255.0 * static_cast<double>(img_p.size());
 
     Table t({"metric", "value"});
-    t.row().cell(std::string("error threshold (%)"))
-        .cell(opt.error_threshold_pct, 0);
+    t.row().cell(std::string("error threshold (%)")).cell(threshold, 0);
     t.row().cell(std::string("output vector difference (%)"))
         .cell(err * 100.0, 4);
     t.row().cell(std::string("rendered image difference (%)"))
         .cell(pix_diff * 100.0, 4);
-    emit(t, opt, "fig17_bodytrack");
+    emit(t, spec, "fig17_bodytrack");
     std::printf("[images: %s/fig17_precise.pgm, %s/fig17_approx.pgm]\n",
-                opt.csv_dir.c_str(), opt.csv_dir.c_str());
+                cfg.csv_dir.c_str(), cfg.csv_dir.c_str());
     return 0;
 }

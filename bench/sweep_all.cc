@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The whole paper grid in one parallel invocation: every benchmark x
+ * every scheme at the Table 1 operating point, replayed once on the
+ * worker pool, then sliced into the Figure 10 (compression), Figure 11
+ * (flit reduction), Figure 9 (latency breakdown) and Figure 15 (power)
+ * views from the same shared results — plus the raw per-point grid.
+ * With `--jobs=N` the sweep parallelizes across all points while
+ * producing tables bit-identical to `--jobs=1`.
+ */
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace approxnoc;
+using namespace approxnoc::bench;
+
+namespace {
+
+void
+fail_row(Table &t, const std::string &bm, Scheme s, std::size_t metrics)
+{
+    auto row = t.row();
+    row.cell(bm).cell(to_string(s)).cell(std::string("FAILED"));
+    for (std::size_t i = 1; i < metrics; ++i)
+        row.cell(std::string("-"));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentSpec::Builder builder;
+    builder.fromCli(argc, argv,
+                    "Full paper sweep: every benchmark x scheme point, "
+                    "all figure tables from one parallel run");
+    Experiment ex(builder.build());
+    const ExperimentSpec &spec = ex.spec();
+    print_banner("Full paper sweep (fig09/10/11/15 from one grid)", spec);
+    ex.run();
+
+    // ------------------------------------------------------- raw grid
+    emit(ex.results().toTable(spec), spec, "sweep_points");
+
+    // ----------------------------------------- Figure 9 view: latency
+    Table lat({"benchmark", "scheme", "queue", "network", "decode",
+               "total"});
+    for (const auto &bm : spec.benchmarks()) {
+        for (Scheme s : spec.schemes()) {
+            const PointResult &pr = ex.result({.benchmark = bm, .scheme = s});
+            if (!pr.ok) {
+                fail_row(lat, bm, s, 4);
+                continue;
+            }
+            lat.row()
+                .cell(bm)
+                .cell(to_string(s))
+                .cell(pr.replay.queue_lat, 2)
+                .cell(pr.replay.net_lat, 2)
+                .cell(pr.replay.decode_lat, 2)
+                .cell(pr.replay.total_lat, 2);
+        }
+    }
+    emit(lat, spec, "sweep_latency");
+
+    // ------------------------------------- Figure 10 view: compression
+    Table comp({"benchmark", "scheme", "exact_frac", "approx_frac",
+                "compr_ratio"});
+    std::map<Scheme, double> gmean_log;
+    std::map<Scheme, std::size_t> gmean_n;
+    for (const auto &bm : spec.benchmarks()) {
+        for (Scheme s : spec.schemes()) {
+            if (s == Scheme::Baseline)
+                continue;
+            const PointResult &pr = ex.result({.benchmark = bm, .scheme = s});
+            if (!pr.ok) {
+                fail_row(comp, bm, s, 3);
+                continue;
+            }
+            comp.row()
+                .cell(bm)
+                .cell(to_string(s))
+                .cell(pr.replay.exact_fraction, 3)
+                .cell(pr.replay.approx_fraction, 3)
+                .cell(pr.replay.compression_ratio, 3);
+            gmean_log[s] +=
+                std::log(std::max(1e-6, pr.replay.compression_ratio));
+            ++gmean_n[s];
+        }
+    }
+    for (Scheme s : spec.schemes()) {
+        if (!gmean_n[s])
+            continue;
+        comp.row()
+            .cell(std::string("GMEAN"))
+            .cell(to_string(s))
+            .cell(std::string("-"))
+            .cell(std::string("-"))
+            .cell(std::exp(gmean_log[s] /
+                           static_cast<double>(gmean_n[s])),
+                  3);
+    }
+    emit(comp, spec, "sweep_compression");
+
+    // --------------------------- Figure 11 + 15 view: flits and power
+    Table eff({"benchmark", "scheme", "data_flits", "flits_norm",
+               "dyn_power_mw", "power_norm"});
+    for (const auto &bm : spec.benchmarks()) {
+        std::uint64_t base_flits = 0;
+        double base_mw = 0.0;
+        for (Scheme s : spec.schemes()) {
+            const PointResult &pr = ex.result({.benchmark = bm, .scheme = s});
+            if (!pr.ok) {
+                fail_row(eff, bm, s, 4);
+                continue;
+            }
+            const ReplayResult &r = pr.replay;
+            if (s == Scheme::Baseline) {
+                base_flits = r.data_flits;
+                base_mw = r.dynamic_power_mw;
+            }
+            eff.row()
+                .cell(bm)
+                .cell(to_string(s))
+                .cell(static_cast<long>(r.data_flits))
+                .cell(base_flits
+                          ? static_cast<double>(r.data_flits) /
+                                static_cast<double>(base_flits)
+                          : 1.0,
+                      3)
+                .cell(r.dynamic_power_mw, 3)
+                .cell(base_mw > 0 ? r.dynamic_power_mw / base_mw : 1.0, 3);
+        }
+    }
+    emit(eff, spec, "sweep_efficiency");
+
+    const RunningStat &summary = ex.results().latencySummary();
+    std::printf("\n%zu points, %zu failed; per-point mean latency "
+                "min/mean/max = %.2f / %.2f / %.2f cycles\n",
+                spec.size(), ex.results().failures(), summary.min(),
+                summary.mean(), summary.max());
+    return ex.results().failures() ? 1 : 0;
+}

@@ -176,8 +176,8 @@ main()
     CodecConfig cc;
     cc.n_nodes = NocConfig{}.nodes();
 
-    auto baseline = make_codec(Scheme::Baseline, cc);
-    auto fpvaxx = make_codec(Scheme::FpVaxx, cc);
+    auto baseline = CodecFactory::create(Scheme::Baseline, cc);
+    auto fpvaxx = CodecFactory::create(Scheme::FpVaxx, cc);
     BaseDeltaCodec bd_exact(0.0);
     BaseDeltaCodec bd_vaxx(10.0);
 

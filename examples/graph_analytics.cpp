@@ -28,7 +28,7 @@ run(Scheme scheme, double threshold, unsigned scale)
     CodecConfig cc;
     cc.n_nodes = ccfg.n_nodes;
     cc.error_threshold_pct = threshold;
-    auto codec = make_codec(scheme, cc);
+    auto codec = CodecFactory::create(scheme, cc);
     ApproxCacheSystem mem(ccfg, codec.get());
     Ssca2Workload wl(scale);
     return wl.run(mem);

@@ -73,7 +73,7 @@ main(int argc, char **argv)
     CodecConfig cc;
     cc.n_nodes = ncfg.nodes();
     cc.error_threshold_pct = threshold;
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     Network net(ncfg, codec.get());
     Simulator sim;
     net.attach(sim);

@@ -44,7 +44,7 @@ main(int argc, char **argv)
         NocConfig ncfg;
         CodecConfig cc;
         cc.n_nodes = ncfg.nodes();
-        auto codec = make_codec(scheme, cc);
+        auto codec = CodecFactory::create(scheme, cc);
         Network net(ncfg, codec.get());
         Simulator sim;
         net.attach(sim);

@@ -35,7 +35,7 @@ main()
     cfg.error_threshold_pct = 10; // Table 1 default
 
     for (Scheme scheme : kAllSchemes) {
-        auto codec = make_codec(scheme, cfg);
+        auto codec = CodecFactory::create(scheme, cfg);
 
         // Dictionary schemes learn online: warm them up by sending the
         // block a few times (decoders promote patterns and notify the

@@ -93,7 +93,7 @@ cmd_replay(const CliArgs &args)
     CodecConfig cc;
     cc.n_nodes = ncfg.nodes();
     cc.error_threshold_pct = args.getDouble("threshold", 10.0);
-    auto codec = make_codec(scheme, cc);
+    auto codec = CodecFactory::create(scheme, cc);
     Network net(ncfg, codec.get());
     Simulator sim;
     net.attach(sim);

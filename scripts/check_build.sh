@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full local gate: configure, build, test, then smoke the parallel
+# experiment harness (2-point sweep on 2 workers must match --jobs=1
+# byte for byte).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Parallel-sweep smoke: 2 benchmarks x 1 scheme, --jobs=2, and the
+# determinism contract against a serial run.
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+"./$BUILD_DIR/bench/fig10_compression" \
+    --benchmarks=blackscholes,swaptions --schemes=FP-VAXX \
+    --max-records=1500 --jobs=2 --csv-dir="$SMOKE/j2" >/dev/null
+"./$BUILD_DIR/bench/fig10_compression" \
+    --benchmarks=blackscholes,swaptions --schemes=FP-VAXX \
+    --max-records=1500 --jobs=1 --csv-dir="$SMOKE/j1" >/dev/null
+cmp "$SMOKE/j1/fig10_compression.csv" "$SMOKE/j2/fig10_compression.csv"
+cmp "$SMOKE/j1/fig10_compression.json" "$SMOKE/j2/fig10_compression.json"
+
+echo "check_build: OK (build + tests + parallel sweep determinism)"

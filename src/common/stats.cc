@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/log.h"
+
 namespace approxnoc {
 
 void
@@ -14,6 +16,17 @@ Histogram::add(double x)
     if (idx >= buckets_.size() - 1)
         idx = buckets_.size() - 1;
     ++buckets_[idx];
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    ANOC_ASSERT(width_ == o.width_ && buckets_.size() == o.buckets_.size(),
+                "merging histograms with different shapes");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
 }
 
 double

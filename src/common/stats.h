@@ -23,6 +23,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Fold another counter in (parallel per-shard merge). */
+    void merge(const Counter &o) { value_ += o.value_; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -43,6 +46,36 @@ class RunningStat
         if (x > max_ || n_ == 1)
             max_ = x;
         sum_ += x;
+    }
+
+    /**
+     * Fold another accumulator in (Chan et al. parallel Welford
+     * combine), exact up to floating-point rounding: merging per-shard
+     * stats equals accumulating the concatenated stream. Lets each
+     * worker thread keep a private accumulator and combine at the end,
+     * instead of sharing one under a lock.
+     */
+    void
+    merge(const RunningStat &o)
+    {
+        if (o.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = o;
+            return;
+        }
+        std::uint64_t n = n_ + o.n_;
+        double delta = o.mean_ - mean_;
+        m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(o.n_) /
+                           static_cast<double>(n);
+        mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+        if (o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+        sum_ += o.sum_;
+        n_ = n;
     }
 
     std::uint64_t count() const { return n_; }
@@ -71,6 +104,8 @@ class Histogram
     {}
 
     void add(double x);
+    /** Fold another histogram in (must share width and bucket count). */
+    void merge(const Histogram &o);
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
     /** Value below which @p q (in [0,1]) of samples fall (bucket-resolution). */

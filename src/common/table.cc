@@ -100,4 +100,59 @@ Table::writeCsv(const std::string &path) const
         emit(row);
 }
 
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Table::writeJson(const std::string &path, const std::string &name) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        ANOC_WARN("cannot write JSON to ", path);
+        return;
+    }
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        f << "[";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            f << "\"" << json_escape(row[c]) << "\"";
+            if (c + 1 < row.size())
+                f << ", ";
+        }
+        f << "]";
+    };
+    f << "{\n  \"name\": \"" << json_escape(name) << "\",\n  \"columns\": ";
+    emit_row(header_);
+    f << ",\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        f << "    ";
+        emit_row(rows_[r]);
+        if (r + 1 < rows_.size())
+            f << ",";
+        f << "\n";
+    }
+    f << "  ]\n}\n";
+}
+
 } // namespace approxnoc

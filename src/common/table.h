@@ -50,12 +50,24 @@ class Table
     /** Write as CSV to @p path (best effort; warns on failure). */
     void writeCsv(const std::string &path) const;
 
+    /**
+     * Write as JSON to @p path (best effort; warns on failure):
+     * `{"name": ..., "columns": [...], "rows": [[cell, ...], ...]}`
+     * with every cell a string, exactly as the CSV renders it.
+     */
+    void writeJson(const std::string &path, const std::string &name) const;
+
     std::size_t rows() const { return rows_.size(); }
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &data() const { return rows_; }
 
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string json_escape(const std::string &s);
 
 /** Format a double with fixed precision. */
 std::string fmt(double v, int precision = 3);

@@ -8,7 +8,7 @@
 namespace approxnoc {
 
 std::unique_ptr<CodecSystem>
-make_codec(Scheme scheme, const CodecConfig &cfg)
+CodecFactory::create(Scheme scheme, const CodecConfig &cfg)
 {
     DictionaryConfig dict = cfg.dict;
     dict.n_nodes = cfg.n_nodes;
@@ -27,7 +27,19 @@ make_codec(Scheme scheme, const CodecConfig &cfg)
         return std::make_unique<FpVaxxCodec>(cfg.errorModel(),
                                              cfg.fpc_priority);
     }
-    ANOC_PANIC("unknown scheme in make_codec");
+    ANOC_PANIC("unknown scheme in CodecFactory::create");
+}
+
+std::unique_ptr<CodecSystem>
+CodecFactory::create(const std::string &name, const CodecConfig &cfg)
+{
+    return create(scheme_from_string(name), cfg);
+}
+
+std::unique_ptr<CodecSystem>
+make_codec(Scheme scheme, const CodecConfig &cfg)
+{
+    return CodecFactory::create(scheme, cfg);
 }
 
 Scheme

@@ -42,7 +42,28 @@ struct CodecConfig {
     }
 };
 
-/** Build the codec system for @p scheme under @p cfg. */
+/**
+ * The single registry entry point for codec construction. Every
+ * consumer — harness, tools, examples, tests — builds codecs through
+ * CodecFactory::create so scheme wiring lives in exactly one place.
+ */
+class CodecFactory
+{
+  public:
+    /** Build the codec system for @p scheme under @p cfg. */
+    static std::unique_ptr<CodecSystem> create(Scheme scheme,
+                                               const CodecConfig &cfg = {});
+
+    /** create(scheme_from_string(name), cfg). */
+    static std::unique_ptr<CodecSystem> create(const std::string &name,
+                                               const CodecConfig &cfg = {});
+};
+
+/**
+ * Build the codec system for @p scheme under @p cfg.
+ * @deprecated Use CodecFactory::create; kept for one PR so external
+ * code keeps compiling.
+ */
 std::unique_ptr<CodecSystem> make_codec(Scheme scheme,
                                         const CodecConfig &cfg);
 

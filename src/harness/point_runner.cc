@@ -1,0 +1,92 @@
+#include "harness/point_runner.h"
+
+#include <stdexcept>
+
+#include "core/codec_factory.h"
+#include "harness/experiment.h"
+#include "harness/trace_library.h"
+#include "noc/network.h"
+#include "power/power_model.h"
+#include "sim/simulator.h"
+#include "traffic/replay.h"
+
+namespace approxnoc::harness {
+
+ReplayResult
+run_replay(const CommTrace &trace, const ReplayJob &job)
+{
+    NocConfig ncfg; // Table 1
+    if (job.flit_bits)
+        ncfg.flit_bits = job.flit_bits;
+    CodecConfig cc;
+    cc.n_nodes = ncfg.nodes();
+    cc.error_threshold_pct = job.threshold;
+    if (job.pmt_entries)
+        cc.dict.pmt_entries = job.pmt_entries;
+    auto codec = CodecFactory::create(job.scheme, cc);
+
+    Network net(ncfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    // Cap the replayed portion of the trace for bounded runtime.
+    CommTrace capped;
+    if (trace.size() > job.max_records) {
+        // Rebuild the prefix (block indices are preserved by copying
+        // the pool wholesale).
+        for (const auto &b : trace.blocks())
+            capped.addBlock(b);
+        for (std::size_t i = 0; i < job.max_records; ++i)
+            capped.add(trace.records()[i]);
+    }
+    const CommTrace &use = trace.size() > job.max_records ? capped : trace;
+
+    // Normalize the offered load of the *replayed* portion.
+    double natural = TraceLibrary::naturalLoad(use, ncfg.nodes());
+    double time_scale =
+        natural > 0 && job.load > 0 ? natural / job.load : 1.0;
+
+    TraceReplay replay(net, use, time_scale, job.approx_ratio);
+    sim.add(&replay);
+
+    bool done = sim.runUntil(
+        [&] { return replay.done() && net.drained(); },
+        static_cast<Cycle>(2e8));
+    if (!done)
+        // Thrown (not panicked) so a parallel sweep reports this point
+        // as a failed cell and keeps going.
+        throw std::runtime_error("replay failed to drain within bound");
+
+    const NetworkStats &s = net.stats();
+    ReplayResult r;
+    r.queue_lat = s.queue_lat.mean();
+    r.net_lat = s.net_lat.mean();
+    r.decode_lat = s.decode_lat.mean();
+    r.total_lat = s.total_lat.mean();
+    r.quality = s.quality.dataQuality();
+    r.exact_fraction = s.quality.exactEncodedFraction();
+    r.approx_fraction = s.quality.approxEncodedFraction();
+    r.compression_ratio = s.quality.compressionRatio();
+    r.data_flits = net.dataFlitsInjected();
+    r.packets = s.packets_delivered.value();
+    r.elapsed = sim.now();
+    PowerModel pm;
+    r.dynamic_power_mw = pm.dynamicPowerMw(net, sim.now());
+    return r;
+}
+
+ReplayResult
+run_replay_point(const CommTrace &trace, const ExperimentPoint &pt,
+                 const ExperimentConfig &cfg)
+{
+    ReplayJob job;
+    job.scheme = pt.scheme;
+    job.threshold = pt.threshold;
+    job.approx_ratio = pt.approx_ratio;
+    job.load = pt.load;
+    job.max_records = cfg.max_records;
+    job.seed = pt.seed;
+    return run_replay(trace, job);
+}
+
+} // namespace approxnoc::harness

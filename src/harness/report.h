@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Uniform result emission for harness binaries: print the table, then
+ * write it as CSV and JSON under the spec's output directories.
+ */
+#ifndef APPROXNOC_HARNESS_REPORT_H
+#define APPROXNOC_HARNESS_REPORT_H
+
+#include <string>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace approxnoc::harness {
+
+/**
+ * Print @p t and write `<csv_dir>/<name>.csv` plus
+ * `<json_dir|csv_dir>/<name>.json` (best effort).
+ */
+void emit_table(const Table &t, const ExperimentConfig &cfg,
+                const std::string &name);
+
+/** Print the Table-1 style banner every harness binary emits. */
+void print_banner(const std::string &figure, const ExperimentSpec &spec);
+
+} // namespace approxnoc::harness
+
+#endif // APPROXNOC_HARNESS_REPORT_H

@@ -1,0 +1,90 @@
+#include "harness/result_sink.h"
+
+#include "common/log.h"
+#include "harness/experiment.h"
+
+namespace approxnoc::harness {
+
+void
+ResultSink::record(std::size_t index, const ReplayResult &r)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    ANOC_ASSERT(index < results_.size(), "result index out of range");
+    PointResult &slot = results_[index];
+    slot.done = true;
+    slot.ok = true;
+    slot.replay = r;
+    latency_summary_.add(r.total_lat);
+}
+
+void
+ResultSink::recordFailure(std::size_t index, std::string error)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    ANOC_ASSERT(index < results_.size(), "result index out of range");
+    PointResult &slot = results_[index];
+    slot.done = true;
+    slot.ok = false;
+    slot.error = std::move(error);
+}
+
+const PointResult &
+ResultSink::at(std::size_t index) const
+{
+    ANOC_ASSERT(index < results_.size(), "result index out of range");
+    return results_[index];
+}
+
+std::size_t
+ResultSink::failures() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    std::size_t n = 0;
+    for (const auto &r : results_)
+        if (r.done && !r.ok)
+            ++n;
+    return n;
+}
+
+Table
+ResultSink::toTable(const ExperimentSpec &spec) const
+{
+    Table t({"benchmark", "scheme", "threshold", "approx_ratio", "load",
+             "status", "queue_lat", "net_lat", "decode_lat", "total_lat",
+             "quality", "exact_frac", "approx_frac", "compr_ratio",
+             "data_flits", "packets", "dyn_power_mw"});
+    for (const ExperimentPoint &p : spec.points()) {
+        const PointResult &r = at(p.index);
+        auto row = t.row();
+        row.cell(p.benchmark.empty() ? std::string("-") : p.benchmark)
+            .cell(to_string(p.scheme))
+            .cell(p.threshold, 1)
+            .cell(p.approx_ratio, 2)
+            .cell(p.load, 3);
+        if (!r.done) {
+            row.cell(std::string("SKIPPED"));
+            for (int i = 0; i < 11; ++i)
+                row.cell(std::string("-"));
+        } else if (!r.ok) {
+            row.cell(std::string("FAILED: ") + r.error);
+            for (int i = 0; i < 11; ++i)
+                row.cell(std::string("-"));
+        } else {
+            row.cell(std::string("ok"))
+                .cell(r.replay.queue_lat, 2)
+                .cell(r.replay.net_lat, 2)
+                .cell(r.replay.decode_lat, 2)
+                .cell(r.replay.total_lat, 2)
+                .cell(r.replay.quality, 4)
+                .cell(r.replay.exact_fraction, 3)
+                .cell(r.replay.approx_fraction, 3)
+                .cell(r.replay.compression_ratio, 3)
+                .cell(static_cast<long>(r.replay.data_flits))
+                .cell(static_cast<long>(r.replay.packets))
+                .cell(r.replay.dynamic_power_mw, 3);
+        }
+    }
+    return t;
+}
+
+} // namespace approxnoc::harness

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Thread-safe collection point for per-point experiment results. The
+ * sink is pre-sized to the spec's point count; workers record into
+ * their own slot, so results always read back in spec order no matter
+ * which worker finished first. A point that threw is kept as a failed
+ * cell (with its error text) instead of aborting the sweep.
+ */
+#ifndef APPROXNOC_HARNESS_RESULT_SINK_H
+#define APPROXNOC_HARNESS_RESULT_SINK_H
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness/point_runner.h"
+
+namespace approxnoc::harness {
+
+class ExperimentSpec;
+
+/** Result slot of one grid point. */
+struct PointResult {
+    bool done = false;  ///< the point ran (ok or failed)
+    bool ok = false;    ///< the point produced a result
+    std::string error;  ///< failure text when done && !ok
+    ReplayResult replay;
+};
+
+/** Indexed, mutex-guarded result store. */
+class ResultSink
+{
+  public:
+    explicit ResultSink(std::size_t n_points) : results_(n_points) {}
+
+    /** Record a successful point (thread-safe). */
+    void record(std::size_t index, const ReplayResult &r);
+    /** Record a failed point (thread-safe). */
+    void recordFailure(std::size_t index, std::string error);
+
+    std::size_t size() const { return results_.size(); }
+    const PointResult &at(std::size_t index) const;
+
+    /** Number of failed cells so far. */
+    std::size_t failures() const;
+
+    /** Merged distribution of per-point mean total latencies. */
+    const RunningStat &latencySummary() const { return latency_summary_; }
+
+    /**
+     * The full grid as one table, one row per point in spec order:
+     * coordinates, status, then every ReplayResult metric. Failed
+     * cells carry "FAILED" and their error.
+     */
+    Table toTable(const ExperimentSpec &spec) const;
+
+  private:
+    mutable std::mutex mtx_;
+    std::vector<PointResult> results_;
+    RunningStat latency_summary_;
+};
+
+} // namespace approxnoc::harness
+
+#endif // APPROXNOC_HARNESS_RESULT_SINK_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Thread-safe communication-trace cache. Traces are generated once per
+ * benchmark by running the kernel through the cache model with a
+ * precise codec and a trace sink (the paper's gem5 trace-collection
+ * step), then shared read-only by every concurrently replaying point.
+ */
+#ifndef APPROXNOC_HARNESS_TRACE_LIBRARY_H
+#define APPROXNOC_HARNESS_TRACE_LIBRARY_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "traffic/trace.h"
+
+namespace approxnoc::harness {
+
+class ExperimentRunner;
+
+/** Lazily generated, mutex-guarded per-benchmark trace store. */
+class TraceLibrary
+{
+  public:
+    explicit TraceLibrary(unsigned scale = 1) : scale_(scale) {}
+
+    /**
+     * The trace for @p benchmark, generated on first use. Safe to call
+     * from any thread; distinct benchmarks generate concurrently, and
+     * the returned reference stays valid for the library's lifetime.
+     */
+    const CommTrace &get(const std::string &benchmark);
+
+    /** Generate all of @p benchmarks in parallel on @p runner. */
+    void prefetch(const std::vector<std::string> &benchmarks,
+                  ExperimentRunner &runner);
+
+    /** Natural offered load of a trace in data-flits/cycle/node. */
+    static double naturalLoad(const CommTrace &t, unsigned n_nodes);
+
+  private:
+    struct Entry {
+        std::once_flag once;
+        CommTrace trace;
+    };
+
+    unsigned scale_;
+    std::mutex mtx_;
+    std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+} // namespace approxnoc::harness
+
+#endif // APPROXNOC_HARNESS_TRACE_LIBRARY_H

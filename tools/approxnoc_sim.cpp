@@ -14,15 +14,20 @@
  *                      or --trace=<file> [--load]
  *                      or --closed-loop [--window --think]
  *   run              : --cycles --warmup --seed --qos-target
+ *   compare          : --compare=<all|scheme,scheme,...> [--jobs=N]
+ *                      one simulation per scheme, run in parallel,
+ *                      reported as one table
  *
- * Ends with the gem5-style stats dump.
+ * Single-scheme runs end with the gem5-style stats dump.
  */
 #include <cstdio>
 #include <iostream>
 
 #include "common/cli.h"
 #include "common/log.h"
+#include "common/table.h"
 #include "core/codec_factory.h"
+#include "harness/experiment.h"
 #include "noc/network.h"
 #include "noc/qos_loop.h"
 #include "sim/simulator.h"
@@ -49,20 +54,14 @@ usage()
         "  --closed-loop [--window=4 --think=4]\n"
         "  --cycles=100000 --warmup=0 --seed=42\n"
         "  --qos-target=<pct>   (enable the online error-control loop)\n"
+        "  --compare=<all|s,s>  (one sim per scheme, parallel with --jobs)\n"
+        "  --jobs=<n>           (worker threads for --compare, 0=auto)\n"
         "  --quiet              (suppress the stats dump; print summary)\n");
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+NocConfig
+parse_noc_config(const CliArgs &args)
 {
-    CliArgs args(argc, argv);
-    if (args.has("help")) {
-        usage();
-        return 0;
-    }
-
     NocConfig ncfg;
     ncfg.rows = static_cast<unsigned>(args.getInt("rows", 4));
     ncfg.cols = static_cast<unsigned>(args.getInt("cols", 4));
@@ -86,13 +85,30 @@ main(int argc, char **argv)
         ncfg.routing = RoutingAlgo::WestFirst;
     else if (routing != "xy")
         ANOC_FATAL("unknown routing '", routing, "'");
+    return ncfg;
+}
 
+struct SimSummary {
+    double latency = 0.0;
+    std::uint64_t delivered = 0;
+    std::uint64_t data_flits = 0;
+    double quality = 1.0;
+    bool drained = false;
+};
+
+/**
+ * One fully isolated simulation of @p scheme under the CLI-selected
+ * traffic. When @p dump is set, ends with the gem5-style stats dump on
+ * stdout (single-scheme mode only — compare mode keeps workers quiet).
+ */
+SimSummary
+run_sim(const CliArgs &args, Scheme scheme, bool dump)
+{
+    NocConfig ncfg = parse_noc_config(args);
     CodecConfig cc;
     cc.n_nodes = ncfg.nodes();
     cc.error_threshold_pct = args.getDouble("threshold", 10.0);
-    auto codec =
-        make_codec(scheme_from_string(args.getString("scheme", "FP-VAXX")),
-                   cc);
+    auto codec = CodecFactory::create(scheme, cc);
 
     Network net(ncfg, codec.get());
     Simulator sim;
@@ -180,17 +196,7 @@ main(int argc, char **argv)
         },
         static_cast<Cycle>(5e6));
 
-    if (args.getBool("quiet", false)) {
-        std::printf("%s: latency %.2f, delivered %llu, data flits %llu, "
-                    "quality %.4f (%s)\n",
-                    to_string(net.codec().scheme()).c_str(),
-                    net.stats().total_lat.mean(),
-                    static_cast<unsigned long long>(
-                        net.stats().packets_delivered.value()),
-                    static_cast<unsigned long long>(net.dataFlitsInjected()),
-                    net.stats().quality.dataQuality(),
-                    drained ? "drained" : "TIMEOUT");
-    } else {
+    if (dump) {
         net.dumpStats(std::cout, sim.now());
         if (closed)
             std::printf("closed_loop.round_trip    %.2f\n",
@@ -201,5 +207,80 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             qos->controller().violations()));
     }
-    return drained ? 0 : 1;
+
+    SimSummary s;
+    s.latency = net.stats().total_lat.mean();
+    s.delivered = net.stats().packets_delivered.value();
+    s.data_flits = net.dataFlitsInjected();
+    s.quality = net.stats().quality.dataQuality();
+    s.drained = drained;
+    return s;
+}
+
+/** `--compare` mode: one simulation per scheme on the worker pool. */
+int
+run_compare(const CliArgs &args)
+{
+    std::vector<Scheme> schemes =
+        harness::parse_scheme_list(args.getString("compare", "all"));
+
+    harness::ExperimentRunner runner(
+        static_cast<unsigned>(args.getInt("jobs", 1)));
+    auto out = runner.map(schemes.size(), [&](std::size_t i) {
+        return run_sim(args, schemes[i], /*dump=*/false);
+    });
+
+    Table t({"scheme", "latency", "delivered", "data_flits", "quality",
+             "status"});
+    bool all_ok = true;
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        auto row = t.row();
+        row.cell(to_string(schemes[i]));
+        if (!out[i].ok) {
+            row.cell(std::string("-"))
+                .cell(std::string("-"))
+                .cell(std::string("-"))
+                .cell(std::string("-"))
+                .cell("FAILED: " + out[i].error);
+            all_ok = false;
+            continue;
+        }
+        const SimSummary &s = out[i].value;
+        row.cell(s.latency, 2)
+            .cell(static_cast<long>(s.delivered))
+            .cell(static_cast<long>(s.data_flits))
+            .cell(s.quality, 4)
+            .cell(std::string(s.drained ? "drained" : "TIMEOUT"));
+        all_ok = all_ok && s.drained;
+    }
+    t.print(std::cout);
+    return all_ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    if (args.has("help")) {
+        usage();
+        return 0;
+    }
+
+    if (args.has("compare"))
+        return run_compare(args);
+
+    Scheme scheme =
+        scheme_from_string(args.getString("scheme", "FP-VAXX"));
+    bool quiet = args.getBool("quiet", false);
+    SimSummary s = run_sim(args, scheme, /*dump=*/!quiet);
+    if (quiet)
+        std::printf("%s: latency %.2f, delivered %llu, data flits %llu, "
+                    "quality %.4f (%s)\n",
+                    to_string(scheme).c_str(), s.latency,
+                    static_cast<unsigned long long>(s.delivered),
+                    static_cast<unsigned long long>(s.data_flits),
+                    s.quality, s.drained ? "drained" : "TIMEOUT");
+    return s.drained ? 0 : 1;
 }
