@@ -1,97 +1,11 @@
 #include "bench/bench_common.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <iostream>
-
-#include "common/log.h"
-
 namespace approxnoc::bench {
 
 void
 emit(const Table &t, const ExperimentSpec &spec, const std::string &name)
 {
     harness::emit_table(t, spec.config(), name);
-}
-
-// ------------------------------------------------------------------------
-// Deprecated pre-harness API shims.
-// ------------------------------------------------------------------------
-
-BenchOptions
-BenchOptions::parse(int argc, char **argv, const std::string &what)
-{
-    // Reuse the harness CLI front end (it accepts a superset of the old
-    // flags), then flatten back into the legacy struct.
-    ExperimentSpec spec =
-        ExperimentSpec::Builder().fromCli(argc, argv, what).build();
-    BenchOptions opt;
-    opt.benchmarks = spec.benchmarks();
-    opt.schemes = spec.schemes();
-    opt.error_threshold_pct = spec.thresholds().front();
-    opt.approx_ratio = spec.approxRatios().front();
-    opt.max_records = spec.config().max_records;
-    opt.target_load = spec.loads().front();
-    opt.cycles = spec.config().cycles;
-    opt.scale = spec.config().scale;
-    opt.csv_dir = spec.config().csv_dir;
-    opt.verbose = spec.config().verbose;
-    return opt;
-}
-
-ExperimentSpec
-BenchOptions::toSpec() const
-{
-    return ExperimentSpec::Builder()
-        .benchmarks(benchmarks)
-        .schemes(schemes)
-        .threshold(error_threshold_pct)
-        .approxRatio(approx_ratio)
-        .load(target_load)
-        .maxRecords(max_records)
-        .cycles(cycles)
-        .scale(scale)
-        .csvDir(csv_dir)
-        .verbose(verbose)
-        .build();
-}
-
-void
-print_banner(const std::string &figure, const BenchOptions &opt)
-{
-    harness::print_banner(figure, opt.toSpec());
-}
-
-void
-emit(const Table &t, const BenchOptions &opt, const std::string &name)
-{
-    ExperimentConfig cfg;
-    cfg.csv_dir = opt.csv_dir;
-    harness::emit_table(t, cfg, name);
-}
-
-ReplayResult
-replay_trace(const CommTrace &trace, Scheme scheme, const BenchOptions &opt)
-{
-    ReplayJob job;
-    job.scheme = scheme;
-    job.threshold = opt.error_threshold_pct;
-    job.approx_ratio = opt.approx_ratio;
-    job.load = opt.target_load;
-    job.max_records = opt.max_records;
-    return run_replay(trace, job);
-}
-
-std::vector<Scheme>
-parse_schemes(const std::string &s)
-{
-    return harness::parse_scheme_list(s);
-}
-
-std::vector<std::string>
-parse_benchmarks(const std::string &s)
-{
-    return harness::parse_benchmark_list(s);
 }
 
 } // namespace approxnoc::bench

@@ -4,8 +4,7 @@
  * from the src/harness experiment subsystem: the ExperimentSpec fluent
  * builder (CLI-integrated), the parallel Experiment runner, the
  * thread-safe TraceLibrary, the replay point executor and the CSV+JSON
- * table emitter. The pre-harness BenchOptions API survives one more PR
- * as thin deprecated shims at the bottom.
+ * table emitter.
  */
 #ifndef APPROXNOC_BENCH_BENCH_COMMON_H
 #define APPROXNOC_BENCH_BENCH_COMMON_H
@@ -54,51 +53,6 @@ using harness::run_replay_point;
 /** emit_table under the figure's name (CSV + JSON alongside). */
 void emit(const Table &t, const ExperimentSpec &spec,
           const std::string &name);
-
-// ------------------------------------------------------------------------
-// Deprecated pre-harness API (kept as shims for one PR).
-// ------------------------------------------------------------------------
-
-/**
- * Everything a figure harness needed to run one experiment.
- * @deprecated Use ExperimentSpec::Builder / Experiment instead.
- */
-struct BenchOptions {
-    std::vector<std::string> benchmarks; ///< subset of workload_names()
-    std::vector<Scheme> schemes;         ///< subset of kAllSchemes
-    double error_threshold_pct = 10.0;   ///< Table 1 default
-    double approx_ratio = 0.75;          ///< Table 1 default
-    std::size_t max_records = 20000;     ///< trace replay cap
-    double target_load = 0.04;  ///< offered data flits/cycle/node in replay
-    Cycle cycles = 50000;       ///< synthetic run length
-    unsigned scale = 1;         ///< workload problem-size multiplier
-    std::string csv_dir = "results";
-    bool verbose = false;
-
-    /** Parse the common flags; prints usage and exits on --help. */
-    static BenchOptions parse(int argc, char **argv,
-                              const std::string &what);
-
-    /** The equivalent single-point-per-combination spec. */
-    ExperimentSpec toSpec() const;
-};
-
-/** @deprecated Use print_banner(figure, spec). */
-void print_banner(const std::string &figure, const BenchOptions &opt);
-
-/** @deprecated Use emit(t, spec, name) / harness::emit_table. */
-void emit(const Table &t, const BenchOptions &opt, const std::string &name);
-
-/** @deprecated Use harness::run_replay. */
-ReplayResult replay_trace(const CommTrace &trace, Scheme scheme,
-                          const BenchOptions &opt);
-
-/** @deprecated Use harness::parse_scheme_list. */
-[[deprecated("use harness::parse_scheme_list")]]
-std::vector<Scheme> parse_schemes(const std::string &s);
-/** @deprecated Use harness::parse_benchmark_list. */
-[[deprecated("use harness::parse_benchmark_list")]]
-std::vector<std::string> parse_benchmarks(const std::string &s);
 
 } // namespace approxnoc::bench
 

@@ -9,18 +9,23 @@ FpVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
     const bool approximable = block.approximable() &&
                               block.type() != DataType::Raw &&
                               avcl_.errorModel().enabled();
-    if (!approximable)
-        return fpc_encode_block(block, [](std::size_t) { return 0u; });
-
-    return fpc_encode_block(block, [&](std::size_t i) -> unsigned {
-        Word w = block.word(i);
-        ApproxDecision d = avcl_.analyze(w, block.type());
-        if (d.bypass)
-            return 0u;
-        if (mode_ == FpcPriorityMode::PreferExact && fpc_match(w, 0))
-            return 0u;
-        return d.dont_care_bits;
-    });
+    EncodedBlock enc =
+        approximable
+            ? fpc_encode_block(block,
+                               [&](std::size_t i) -> unsigned {
+                                   Word w = block.word(i);
+                                   ApproxDecision d =
+                                       avcl_.analyze(w, block.type());
+                                   if (d.bypass)
+                                       return 0u;
+                                   if (mode_ == FpcPriorityMode::PreferExact &&
+                                       fpc_match(w, 0))
+                                       return 0u;
+                                   return d.dont_care_bits;
+                               })
+            : fpc_encode_block(block, [](std::size_t) { return 0u; });
+    noteBlockEncoded(enc);
+    return enc;
 }
 
 DataBlock
@@ -29,6 +34,7 @@ FpVaxxCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
     // The NR is plain FPC; the decoder is unchanged (paper: the decoder
     // never knows approximation happened).
     noteDecoded(enc.wordCount());
+    noteBlockDecoded();
     std::vector<Word> ws;
     ws.reserve(enc.wordCount());
     for (const auto &w : enc.words()) {

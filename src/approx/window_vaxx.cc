@@ -15,8 +15,12 @@ WindowVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
                            block.type() != DataType::Raw &&
                            model_.enabled();
     last_spent_ = 0.0;
-    if (!approx_ok)
-        return fpc_encode_block(block, [](std::size_t) { return 0u; });
+    if (!approx_ok) {
+        EncodedBlock enc =
+            fpc_encode_block(block, [](std::size_t) { return 0u; });
+        noteBlockEncoded(enc);
+        return enc;
+    }
 
     // Cumulative budget in "percent-words": each word nominally
     // contributes thresholdPct; exact matches return theirs to the
@@ -62,6 +66,7 @@ WindowVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
     EncodedBlock enc = fpc_encode_block(
         block, [&](std::size_t i) { return ks[i]; });
     last_spent_ = spent;
+    noteBlockEncoded(enc);
     return enc;
 }
 
@@ -69,6 +74,7 @@ DataBlock
 WindowVaxxCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
 {
     noteDecoded(enc.wordCount());
+    noteBlockDecoded();
     std::vector<Word> ws;
     ws.reserve(enc.wordCount());
     for (const auto &w : enc.words()) {

@@ -12,7 +12,11 @@ Histogram::add(double x)
 {
     ++count_;
     sum_ += x;
-    std::size_t idx = x < 0 ? 0 : static_cast<std::size_t>(x / width_);
+    if (x < 0) {
+        ++underflow_;
+        return;
+    }
+    std::size_t idx = static_cast<std::size_t>(x / width_);
     if (idx >= buckets_.size() - 1)
         idx = buckets_.size() - 1;
     ++buckets_[idx];
@@ -26,6 +30,7 @@ Histogram::merge(const Histogram &o)
     for (std::size_t i = 0; i < buckets_.size(); ++i)
         buckets_[i] += o.buckets_[i];
     count_ += o.count_;
+    underflow_ += o.underflow_;
     sum_ += o.sum_;
 }
 
@@ -37,7 +42,11 @@ Histogram::percentile(double q) const
     q = std::clamp(q, 0.0, 1.0);
     std::uint64_t target =
         static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
-    std::uint64_t seen = 0;
+    // Underflow samples rank below bucket 0: a target inside them
+    // (q = 0 included) resolves to the histogram's lower bound.
+    std::uint64_t seen = underflow_;
+    if (seen >= target)
+        return 0.0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= target)
@@ -51,7 +60,17 @@ Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
+    underflow_ = 0;
     sum_ = 0.0;
+}
+
+void
+StatRegistry::merge(const StatRegistry &o)
+{
+    for (const auto &[name, c] : o.counters())
+        counters_[name].merge(c);
+    for (const auto &[name, s] : o.stats())
+        stats_[name].merge(s);
 }
 
 void

@@ -95,7 +95,11 @@ class RunningStat
     double sum_ = 0.0;
 };
 
-/** Histogram over [0, bucket_width * n_buckets) with an overflow bucket. */
+/**
+ * Histogram over [0, bucket_width * n_buckets) with an overflow bucket
+ * and an explicit underflow count for negative samples (they are never
+ * lumped into bucket 0, which would skew percentile()).
+ */
 class Histogram
 {
   public:
@@ -108,15 +112,24 @@ class Histogram
     void merge(const Histogram &o);
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
-    /** Value below which @p q (in [0,1]) of samples fall (bucket-resolution). */
+    /**
+     * Value below which @p q (in [0,1]) of samples fall, at bucket
+     * resolution. Underflow samples rank below every bucket, so a
+     * target that falls inside them (q = 0 included) yields 0.0, the
+     * histogram's lower bound.
+     */
     double percentile(double q) const;
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    /** Samples below 0 (outside every bucket). */
+    std::uint64_t underflow() const { return underflow_; }
+    double bucketWidth() const { return width_; }
     void reset();
 
   private:
     double width_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
     double sum_ = 0.0;
 };
 
@@ -132,6 +145,13 @@ class StatRegistry
 
     const std::map<std::string, Counter> &counters() const { return counters_; }
     const std::map<std::string, RunningStat> &stats() const { return stats_; }
+
+    /**
+     * Fold another registry in, entry by entry (parallel per-shard
+     * merge). Entries are keyed by name, so the dumped result is
+     * independent of the order registries are merged in.
+     */
+    void merge(const StatRegistry &o);
 
     /** Dump every entry as "name value [mean min max]" lines. */
     void dump(std::ostream &os) const;

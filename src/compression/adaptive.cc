@@ -65,7 +65,9 @@ AdaptiveCodec::encode(const DataBlock &block, NodeId src, NodeId dst,
             s.window_count = 0;
         } else {
             ++bypassed_;
-            return rawBlock(block);
+            EncodedBlock raw = rawBlock(block);
+            noteBlockEncoded(raw);
+            return raw;
         }
     }
 

@@ -70,6 +70,15 @@ class AdaptiveCodec : public CodecSystem
         return inner_->setErrorThreshold(pct);
     }
 
+    /** Bind both layers: bypassed raw blocks record here, the rest in
+     * the inner codec. A delegated block is recorded exactly once. */
+    void
+    bindCounters(const CodecCounters &c) override
+    {
+        CodecSystem::bindCounters(c);
+        inner_->bindCounters(c);
+    }
+
     CodecSystem &inner() { return *inner_; }
 
     /** True when sender @p src currently compresses (tests/stats). */

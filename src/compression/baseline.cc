@@ -26,6 +26,7 @@ BaselineCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
         enc.append(ew);
     }
     enc.setMeta(block.type(), block.approximable());
+    noteBlockEncoded(enc);
     return enc;
 }
 
@@ -33,6 +34,7 @@ DataBlock
 BaselineCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
 {
     noteDecoded(enc.wordCount());
+    noteBlockDecoded();
     std::vector<Word> ws;
     ws.reserve(enc.wordCount());
     for (const auto &w : enc.words())

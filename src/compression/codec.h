@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/data_block.h"
+#include "common/stats.h"
 #include "common/types.h"
 
 #include "compression/encoded.h"
@@ -33,6 +34,24 @@ struct CodecActivity {
     std::uint64_t tcam_searches = 0;
     std::uint64_t tcam_writes = 0;
     std::uint64_t avcl_ops = 0;
+};
+
+/**
+ * Telemetry counter handles a codec records into, all null by default
+ * (telemetry off). The pointed-to counters live in a per-point
+ * MetricRegistry owned by the harness; the codec only increments.
+ * Recording happens once per block off the aggregate EncodedBlock
+ * accessors, so the per-word encode loop is never touched.
+ */
+struct CodecCounters {
+    Counter *blocks_encoded = nullptr;
+    Counter *blocks_decoded = nullptr;
+    Counter *hit_exact = nullptr;  ///< words compressed exactly
+    Counter *hit_approx = nullptr; ///< words changed by approximation
+    Counter *miss_raw = nullptr;   ///< words emitted uncompressed
+    Counter *bits_out = nullptr;   ///< total NR bits emitted
+
+    bool bound() const { return blocks_encoded != nullptr; }
 };
 
 /**
@@ -104,6 +123,13 @@ class CodecSystem
      */
     virtual bool setErrorThreshold(double) { return false; }
 
+    /**
+     * Bind telemetry counter handles (harness, per experiment point).
+     * Unbound (the default) recording costs one predicted branch per
+     * block — nothing per word. Wrappers forward to their inner codec.
+     */
+    virtual void bindCounters(const CodecCounters &c) { counters_ = c; }
+
   protected:
     /** Bump the consistency-mismatch counter (decoders call this). */
     void noteMismatch() { ++mismatches_; }
@@ -112,6 +138,32 @@ class CodecSystem
     void noteEncoded(std::uint64_t n) { words_encoded_ += n; }
     void noteDecoded(std::uint64_t n) { words_decoded_ += n; }
 
+    /**
+     * Per-block telemetry record, called once at the end of every
+     * derived encode(). Derives hit/miss/approx splits from the block's
+     * aggregate accessors; immediate no-op when counters are unbound.
+     */
+    void
+    noteBlockEncoded(const EncodedBlock &enc)
+    {
+        if (!counters_.bound())
+            return;
+        counters_.blocks_encoded->inc();
+        counters_.hit_exact->inc(enc.exactCompressedWords());
+        counters_.hit_approx->inc(enc.approximatedWords());
+        counters_.miss_raw->inc(enc.uncompressedWords());
+        counters_.bits_out->inc(enc.bits());
+    }
+
+    /** Decode-side telemetry record; no-op when counters are unbound. */
+    void
+    noteBlockDecoded()
+    {
+        if (!counters_.bound())
+            return;
+        counters_.blocks_decoded->inc();
+    }
+
     std::uint64_t wordsEncoded() const { return words_encoded_; }
     std::uint64_t wordsDecoded() const { return words_decoded_; }
 
@@ -119,6 +171,7 @@ class CodecSystem
     std::uint64_t mismatches_ = 0;
     std::uint64_t words_encoded_ = 0;
     std::uint64_t words_decoded_ = 0;
+    CodecCounters counters_;
 };
 
 /**

@@ -77,8 +77,10 @@ DictionaryCodecBase::encode(const DataBlock &block, NodeId src, NodeId dst,
             raw.append(ew);
         }
         raw.setMeta(block.type(), block.approximable());
+        noteBlockEncoded(raw);
         return raw;
     }
+    noteBlockEncoded(enc);
     return enc;
 }
 
@@ -90,6 +92,7 @@ DictionaryCodecBase::decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                 "node id out of range in dictionary decode");
     DecoderState &d = decoders_[dst];
     noteDecoded(enc.wordCount());
+    noteBlockDecoded();
     std::vector<Word> ws;
     ws.reserve(enc.wordCount());
 

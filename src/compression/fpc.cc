@@ -168,13 +168,16 @@ EncodedBlock
 FpcCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
 {
     noteEncoded(block.size());
-    return fpc_encode_block(block, [](std::size_t) { return 0u; });
+    EncodedBlock enc = fpc_encode_block(block, [](std::size_t) { return 0u; });
+    noteBlockEncoded(enc);
+    return enc;
 }
 
 DataBlock
 FpcCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
 {
     noteDecoded(enc.wordCount());
+    noteBlockDecoded();
     std::vector<Word> ws;
     ws.reserve(enc.wordCount());
     for (const auto &w : enc.words()) {

@@ -36,12 +36,6 @@ CodecFactory::create(const std::string &name, const CodecConfig &cfg)
     return create(scheme_from_string(name), cfg);
 }
 
-std::unique_ptr<CodecSystem>
-make_codec(Scheme scheme, const CodecConfig &cfg)
-{
-    return CodecFactory::create(scheme, cfg);
-}
-
 Scheme
 scheme_from_string(const std::string &name)
 {

@@ -59,14 +59,6 @@ class CodecFactory
                                                const CodecConfig &cfg = {});
 };
 
-/**
- * Build the codec system for @p scheme under @p cfg.
- * @deprecated Use CodecFactory::create; kept for one PR so external
- * code keeps compiling.
- */
-std::unique_ptr<CodecSystem> make_codec(Scheme scheme,
-                                        const CodecConfig &cfg);
-
 /** Parse a scheme name ("Baseline", "DI-COMP", "di-vaxx"...). */
 Scheme scheme_from_string(const std::string &name);
 

@@ -172,6 +172,27 @@ ExperimentSpec::Builder::jsonDir(std::string dir)
 }
 
 ExperimentSpec::Builder &
+ExperimentSpec::Builder::metricsDir(std::string dir)
+{
+    cfg_.metrics_dir = std::move(dir);
+    return *this;
+}
+
+ExperimentSpec::Builder &
+ExperimentSpec::Builder::traceDir(std::string dir)
+{
+    cfg_.trace_dir = std::move(dir);
+    return *this;
+}
+
+ExperimentSpec::Builder &
+ExperimentSpec::Builder::sampleInterval(Cycle n)
+{
+    cfg_.sample_interval = n;
+    return *this;
+}
+
+ExperimentSpec::Builder &
 ExperimentSpec::Builder::verbose(bool v)
 {
     cfg_.verbose = v;
@@ -212,6 +233,9 @@ ExperimentSpec::Builder::fromCli(int argc, char **argv, const std::string &what)
             "  --seed=<n>                        experiment base seed\n"
             "  --csv-dir=<dir>                   CSV output dir (results)\n"
             "  --json-dir=<dir>                  JSON output dir (csv-dir)\n"
+            "  --metrics-out=<dir>               per-point + merged metrics JSON\n"
+            "  --trace-out=<dir>                 Chrome trace-event JSON per point\n"
+            "  --sample-interval=<cycles>        time-series epoch, 0=off (0)\n"
             "  --progress                        per-point progress on stderr\n"
             "  --verbose                         chatty logging\n",
             what.c_str());
@@ -231,6 +255,10 @@ ExperimentSpec::Builder::fromCli(int argc, char **argv, const std::string &what)
         args.getInt("seed", static_cast<long>(cfg_.base_seed)));
     cfg_.csv_dir = args.getString("csv-dir", "results");
     cfg_.json_dir = args.getString("json-dir", "");
+    cfg_.metrics_dir = args.getString("metrics-out", "");
+    cfg_.trace_dir = args.getString("trace-out", "");
+    cfg_.sample_interval =
+        static_cast<Cycle>(args.getInt("sample-interval", 0));
     cfg_.progress = args.getBool("progress", false);
     cfg_.verbose = args.getBool("verbose", false);
     set_verbose(cfg_.verbose);
@@ -360,6 +388,20 @@ Experiment::run(const PointFn &fn)
     if (sink_->failures())
         ANOC_WARN(sink_->failures(), " of ", points.size(),
                   " grid points failed");
+
+    // Fold the per-point registries in spec order into one merged
+    // dump. Spec-order iteration (not completion order) keeps the file
+    // byte-identical across --jobs settings.
+    if (!cfg.metrics_dir.empty()) {
+        std::vector<std::shared_ptr<const telemetry::MetricRegistry>> parts;
+        parts.reserve(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const PointResult &pr = sink_->at(i);
+            parts.push_back(pr.ok ? pr.replay.metrics : nullptr);
+        }
+        telemetry::write_merged_metrics(cfg.metrics_dir, "metrics.json",
+                                        parts);
+    }
     return *sink_;
 }
 

@@ -35,6 +35,14 @@ struct ExperimentConfig {
     std::uint64_t base_seed = 0xA9C0FFEEull; ///< per-point seed root
     std::string csv_dir = "results";
     std::string json_dir; ///< empty = alongside the CSV in csv_dir
+
+    /** @name Telemetry (all off by default) */
+    ///@{
+    std::string metrics_dir;   ///< per-point metrics + merged metrics.json
+    std::string trace_dir;     ///< per-point Chrome trace-event files
+    Cycle sample_interval = 0; ///< time-series epoch length, 0 = off
+    ///@}
+
     bool verbose = false;
     bool progress = false; ///< per-point progress lines on stderr
 };
@@ -87,6 +95,9 @@ class ExperimentSpec
         Builder &scale(unsigned n);
         Builder &csvDir(std::string dir);
         Builder &jsonDir(std::string dir);
+        Builder &metricsDir(std::string dir);
+        Builder &traceDir(std::string dir);
+        Builder &sampleInterval(Cycle n);
         Builder &verbose(bool v);
         Builder &progress(bool v);
 
@@ -97,9 +108,10 @@ class ExperimentSpec
          * Parse the shared harness flags (--benchmarks, --schemes,
          * --threshold, --approx-ratio, --load, --max-records,
          * --cycles, --scale, --jobs, --seed, --csv-dir, --json-dir,
-         * --progress, --verbose). Prints @p what and the flag list on
-         * --help, then exits. Dimension calls made after fromCli()
-         * override the CLI values.
+         * --metrics-out, --trace-out, --sample-interval, --progress,
+         * --verbose). Prints @p what and the flag list on --help,
+         * then exits. Dimension calls made after fromCli() override
+         * the CLI values.
          */
         Builder &fromCli(int argc, char **argv, const std::string &what);
 

@@ -1,5 +1,6 @@
 #include "harness/point_runner.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/codec_factory.h"
@@ -28,6 +29,19 @@ run_replay(const CommTrace &trace, const ReplayJob &job)
     Network net(ncfg, codec.get());
     Simulator sim;
     net.attach(sim);
+
+    // Telemetry bundle, owned by this point alone (lock-free). The
+    // sampler joins the simulator after the network components so each
+    // row reads the committed state of its cycle.
+    std::optional<telemetry::PointTelemetry> pt;
+    if (job.telemetry.enabled()) {
+        pt.emplace(job.telemetry);
+        net.bindTelemetry(*pt);
+        if (pt->tracer())
+            pt->tracer()->setProcessName(job.telemetry.label);
+        if (pt->sampler())
+            sim.add(pt->sampler());
+    }
 
     // Cap the replayed portion of the trace for bounded runtime.
     CommTrace capped;
@@ -72,6 +86,20 @@ run_replay(const CommTrace &trace, const ReplayJob &job)
     r.elapsed = sim.now();
     PowerModel pm;
     r.dynamic_power_mw = pm.dynamicPowerMw(net, sim.now());
+
+    if (pt) {
+        if (telemetry::Sampler *smp = pt->sampler()) {
+            // Final snapshot, unless the last epoch already landed on
+            // the end cycle.
+            if (smp->sampleCycles().empty() ||
+                smp->sampleCycles().back() != sim.now())
+                smp->sample(sim.now());
+        }
+        net.collectTelemetry(*pt->metrics());
+        pt->metrics()->counter("sim.elapsed_cycles").inc(sim.now());
+        pt->write();
+        r.metrics = pt->metrics();
+    }
     return r;
 }
 
@@ -86,6 +114,16 @@ run_replay_point(const CommTrace &trace, const ExperimentPoint &pt,
     job.load = pt.load;
     job.max_records = cfg.max_records;
     job.seed = pt.seed;
+
+    // Per-point artifact identity derives from the spec coordinates,
+    // never from which worker ran the point, so --jobs=N runs produce
+    // identical file sets.
+    job.telemetry.metrics_dir = cfg.metrics_dir;
+    job.telemetry.trace_dir = cfg.trace_dir;
+    job.telemetry.sample_interval = cfg.sample_interval;
+    job.telemetry.label = telemetry::PointTelemetry::pointLabel(
+        pt.index, pt.benchmark, to_string(pt.scheme));
+    job.telemetry.pid = static_cast<std::uint32_t>(pt.index);
     return run_replay(trace, job);
 }
 

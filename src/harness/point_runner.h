@@ -10,8 +10,10 @@
 #define APPROXNOC_HARNESS_POINT_RUNNER_H
 
 #include <cstdint>
+#include <memory>
 
 #include "common/types.h"
+#include "telemetry/telemetry.h"
 #include "traffic/trace.h"
 
 namespace approxnoc::harness {
@@ -33,6 +35,14 @@ struct ReplayResult {
     std::uint64_t packets = 0;
     double dynamic_power_mw = 0.0;  ///< Fig. 15
     Cycle elapsed = 0;
+
+    /**
+     * The point's hierarchical metrics, null unless the job ran with
+     * telemetry. Shared (immutable once the point completes) so the
+     * harness can fold per-point registries in spec order after the
+     * sweep — byte-identical merged output at any --jobs.
+     */
+    std::shared_ptr<const telemetry::MetricRegistry> metrics;
 };
 
 /**
@@ -48,6 +58,9 @@ struct ReplayJob {
     std::uint64_t seed = 0;      ///< per-point stream seed
     unsigned flit_bits = 0;      ///< 0 = NocConfig default (64)
     std::size_t pmt_entries = 0; ///< 0 = DictionaryConfig default (8)
+
+    /** Telemetry collection; default-constructed = everything off. */
+    telemetry::TelemetryOptions telemetry;
 };
 
 /**

@@ -239,10 +239,151 @@ Network::onDelivery(const PacketPtr &pkt, Cycle now)
         stats_.data_packets_delivered.inc();
         stats_.data_total_lat.add(static_cast<double>(pkt->totalLatency()));
     }
-    if (pkt->carries_block)
+    if (pkt->carries_block) {
         stats_.quality.record(pkt->precise, pkt->enc, pkt->delivered);
+        if (err_hist_)
+            err_hist_->add(block_relative_error(pkt->precise,
+                                                pkt->delivered));
+    }
+    if (tracer_) {
+        // Reconstruct the packet's lifecycle spans from its timestamps:
+        // queue+encode at the source, decode at the destination. The
+        // trace writer re-sorts per track, so recording at delivery
+        // time still yields monotonic tracks.
+        const std::string args = "{\"pkt\": " + std::to_string(pkt->id) +
+                                 ", \"src\": " + std::to_string(pkt->src) +
+                                 ", \"dst\": " + std::to_string(pkt->dst) +
+                                 "}";
+        using telemetry::PacketTracer;
+        tracer_->span(PacketTracer::nodeTrack(pkt->src), "queue+encode",
+                      pkt->created, pkt->queueLatency(), args);
+        tracer_->span(PacketTracer::nodeTrack(pkt->dst), "network",
+                      pkt->inject_start, pkt->netLatency(), args);
+        if (pkt->decode_done > pkt->eject_done)
+            tracer_->span(PacketTracer::nodeTrack(pkt->dst), "decode",
+                          pkt->eject_done, pkt->decodeLatency(), args);
+    }
     if (user_delivery_)
         user_delivery_(pkt, now);
+}
+
+void
+Network::bindTelemetry(telemetry::PointTelemetry &pt)
+{
+    if (telemetry::PacketTracer *t = pt.tracer()) {
+        tracer_ = t;
+        for (auto &r : routers_) {
+            r->bindTracer(t);
+            t->setThreadName(telemetry::PacketTracer::routerTrack(r->id()),
+                             "router " + std::to_string(r->id()));
+        }
+        for (auto &ni : nis_) {
+            ni->bindTracer(t);
+            t->setThreadName(
+                telemetry::PacketTracer::nodeTrack(ni->nodeId()),
+                "node " + std::to_string(ni->nodeId()));
+        }
+    }
+
+    telemetry::MetricRegistry &reg = *pt.metrics();
+    err_hist_ = &reg.histogram("net.approx_error", 0.001, 64);
+
+    const std::string scheme =
+        telemetry::sanitize_component(to_string(codec_->scheme()));
+    CodecCounters cc;
+    telemetry::MetricScope cs = reg.scope("codec." + scheme);
+    cc.blocks_encoded = &cs.counter("blocks_encoded");
+    cc.blocks_decoded = &cs.counter("blocks_decoded");
+    cc.hit_exact = &cs.counter("hit_exact");
+    cc.hit_approx = &cs.counter("hit_approx");
+    cc.miss_raw = &cs.counter("miss_raw");
+    cc.bits_out = &cs.counter("bits_out");
+    codec_->bindCounters(cc);
+
+    if (telemetry::Sampler *s = pt.sampler()) {
+        s->addProbe("net.router_occupancy",
+                    [this] { return static_cast<double>(routerOccupancy()); });
+        s->addProbe("net.link_traversals", [this] {
+            return static_cast<double>(routerLinkTraversals());
+        });
+        s->addProbe("net.flits_injected", [this] {
+            return static_cast<double>(flitsInjected());
+        });
+        s->addProbe("net.packets_delivered", [this] {
+            return static_cast<double>(stats_.packets_delivered.value());
+        });
+        s->addProbe("net.mean_total_latency",
+                    [this] { return stats_.total_lat.mean(); });
+        s->addProbe("codec.words_encoded", [this] {
+            return static_cast<double>(codec_->activity().words_encoded);
+        });
+        s->addProbe("codec.hit_exact", [cc] {
+            return static_cast<double>(cc.hit_exact->value());
+        });
+        s->addProbe("codec.hit_approx", [cc] {
+            return static_cast<double>(cc.hit_approx->value());
+        });
+        s->addProbe("codec.miss_raw", [cc] {
+            return static_cast<double>(cc.miss_raw->value());
+        });
+        s->addProbe("quality.mean_rel_error",
+                    [this] { return stats_.quality.meanRelativeError(); });
+    }
+}
+
+void
+Network::collectTelemetry(telemetry::MetricRegistry &reg) const
+{
+    for (const auto &r : routers_) {
+        telemetry::MetricScope rs =
+            reg.scope("router." + std::to_string(r->id()));
+        rs.counter("buffer_writes").inc(r->bufferWrites());
+        rs.counter("vc_allocs").inc(r->vcAllocations());
+        rs.counter("vc_stalls").inc(r->vcStalls());
+        rs.counter("flits_forwarded").inc(r->flitsForwarded());
+        rs.counter("link_traversals").inc(r->linkTraversals());
+    }
+    for (const auto &ni : nis_) {
+        telemetry::MetricScope ns =
+            reg.scope("ni." + std::to_string(ni->nodeId()));
+        ns.counter("packets_injected").inc(ni->packetsInjected());
+        ns.counter("packets_delivered").inc(ni->packetsDelivered());
+        ns.counter("flits_injected").inc(ni->flitsInjected());
+        ns.counter("data_flits_injected").inc(ni->dataFlitsInjected());
+    }
+
+    telemetry::MetricScope net = reg.scope("net");
+    net.counter("packets_delivered").inc(stats_.packets_delivered.value());
+    net.counter("data_packets_delivered")
+        .inc(stats_.data_packets_delivered.value());
+    net.counter("notification_packets")
+        .inc(stats_.notification_packets.value());
+    net.stat("total_latency").merge(stats_.total_lat);
+    net.stat("queue_latency").merge(stats_.queue_lat);
+    net.stat("net_latency").merge(stats_.net_lat);
+    net.stat("decode_latency").merge(stats_.decode_lat);
+    net.stat("hops").merge(stats_.hops);
+    reg.histogram("net.total_latency_hist", 4.0, 128)
+        .merge(stats_.total_lat_hist);
+
+    const std::string scheme =
+        telemetry::sanitize_component(to_string(codec_->scheme()));
+    telemetry::MetricScope cs = reg.scope("codec." + scheme);
+    const CodecActivity a = codec_->activity();
+    cs.counter("words_encoded").inc(a.words_encoded);
+    cs.counter("words_decoded").inc(a.words_decoded);
+    cs.counter("cam_searches").inc(a.cam_searches);
+    cs.counter("cam_writes").inc(a.cam_writes);
+    cs.counter("tcam_searches").inc(a.tcam_searches);
+    cs.counter("tcam_writes").inc(a.tcam_writes);
+    cs.counter("avcl_ops").inc(a.avcl_ops);
+    cs.counter("mismatches").inc(codec_->consistencyMismatches());
+
+    telemetry::MetricScope qs = reg.scope("quality");
+    qs.stat("data_quality").add(stats_.quality.dataQuality());
+    qs.stat("compression_ratio").add(stats_.quality.compressionRatio());
+    qs.stat("exact_fraction").add(stats_.quality.exactEncodedFraction());
+    qs.stat("approx_fraction").add(stats_.quality.approxEncodedFraction());
 }
 
 std::uint64_t

@@ -20,6 +20,7 @@
 #include "noc/packet.h"
 #include "noc/router.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace approxnoc {
 
@@ -112,6 +113,22 @@ class Network : public Clocked
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
 
+    /**
+     * Attach a telemetry bundle: routers and NIs get the tracer, the
+     * codec gets its counters, the delivery path records the
+     * approximation-error distribution, and (when sampling) the
+     * network's occupancy/utilization/codec probes are registered.
+     * Call before the run; everything stays null/off otherwise.
+     */
+    void bindTelemetry(telemetry::PointTelemetry &pt);
+
+    /**
+     * Export end-of-run state into @p reg: per-router and per-NI
+     * activity counters, latency stats, codec activity and quality.
+     * Pure pull — costs nothing during the run.
+     */
+    void collectTelemetry(telemetry::MetricRegistry &reg) const;
+
   private:
     std::vector<unsigned> routeFor(RouterId at, const Packet &pkt) const;
     void onDelivery(const PacketPtr &pkt, Cycle now);
@@ -125,6 +142,10 @@ class Network : public Clocked
 
     NetworkStats stats_;
     NetworkInterface::DeliveryFn user_delivery_;
+
+    /** Lifecycle tracer + error histogram, null unless bound. */
+    telemetry::PacketTracer *tracer_ = nullptr;
+    Histogram *err_hist_ = nullptr;
 
     std::uint64_t next_packet_id_ = 1;
 

@@ -92,6 +92,12 @@ NetworkInterface::advance(Cycle now)
     if (next_seq_ == 0) {
         current_->inject_start = now;
         ++packets_injected_;
+        if (tracer_)
+            tracer_->instant(telemetry::PacketTracer::nodeTrack(id_),
+                             "inject", now,
+                             "{\"pkt\": " + std::to_string(current_->id) +
+                                 ", \"dst\": " +
+                                 std::to_string(current_->dst) + "}");
     }
     ++next_seq_;
     if (f.is_tail) {
@@ -113,6 +119,11 @@ NetworkInterface::acceptEjectedFlit(const Flit &f, Cycle now)
     ANOC_ASSERT(pkt->ejected_flits == pkt->n_flits,
                 "packet over-ejected: duplicate flits");
     pkt->eject_done = now;
+    if (tracer_)
+        tracer_->instant(telemetry::PacketTracer::nodeTrack(id_), "eject",
+                         now,
+                         "{\"pkt\": " + std::to_string(pkt->id) +
+                             ", \"src\": " + std::to_string(pkt->src) + "}");
     if (pkt->carries_block) {
         pkt->delivered = codec_->decode(pkt->enc, pkt->src, pkt->dst, now);
         pkt->decode_done = now + codec_->decompressionLatency();

@@ -22,6 +22,7 @@
 #include "noc/packet.h"
 #include "noc/router.h"
 #include "sim/clocked.h"
+#include "telemetry/packet_tracer.h"
 
 namespace approxnoc {
 
@@ -62,6 +63,13 @@ class NetworkInterface : public Clocked, public FlitSource
     /** Packets waiting in the injection queue. */
     std::size_t queueDepth() const { return inj_q_.size(); }
 
+    /**
+     * Attach a lifecycle tracer (null detaches). The NI emits "inject"
+     * and "eject" instants on its endpoint track; when detached the
+     * hooks cost one null check each.
+     */
+    void bindTracer(telemetry::PacketTracer *t) { tracer_ = t; }
+
     /** @name Activity counters */
     ///@{
     std::uint64_t flitsInjected() const { return flits_injected_; }
@@ -91,6 +99,7 @@ class NetworkInterface : public Clocked, public FlitSource
     bool send_this_cycle_ = false; ///< evaluate() decision
 
     DeliveryFn on_delivery_;
+    telemetry::PacketTracer *tracer_ = nullptr;
 
     std::uint64_t flits_injected_ = 0;
     std::uint64_t data_flits_injected_ = 0;

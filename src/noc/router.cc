@@ -178,11 +178,19 @@ Router::evaluate(Cycle now)
                         op.vc_busy[dvc] = true;
                         buf.out_vc = static_cast<int>(dvc);
                         ++vc_allocs_;
+                        if (tracer_)
+                            tracer_->instant(
+                                telemetry::PacketTracer::routerTrack(id_),
+                                "vc_alloc", now,
+                                "{\"pkt\": " + std::to_string(f.pkt->id) +
+                                    ", \"vc\": " + std::to_string(dvc) + "}");
                         break;
                     }
                 }
-                if (buf.out_vc < 0)
+                if (buf.out_vc < 0) {
+                    ++vc_stalls_;
                     continue; // no VC available; try another VC/input
+                }
             }
             if (buf.out_vc >= 0 &&
                 op.credits[static_cast<unsigned>(buf.out_vc)] > 0) {
@@ -221,8 +229,16 @@ Router::advance(Cycle now)
             ANOC_ASSERT(op.credits[dvc] > 0, "forwarding without credit");
             --op.credits[dvc];
             f.arrival = now + 1;
+            bool head = f.isHead();
+            std::uint64_t pkt_id = f.pkt->id;
             op.peer->acceptFlit(op.peer_port, dvc, f);
             ++link_traversals_;
+            if (tracer_ && head)
+                tracer_->instant(telemetry::PacketTracer::routerTrack(id_),
+                                 "hop", now,
+                                 "{\"pkt\": " + std::to_string(pkt_id) +
+                                     ", \"to\": " +
+                                     std::to_string(op.peer->id()) + "}");
             if (tail)
                 op.vc_busy[dvc] = false;
         }

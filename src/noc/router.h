@@ -21,6 +21,7 @@
 #include "noc/noc_config.h"
 #include "noc/packet.h"
 #include "sim/clocked.h"
+#include "telemetry/packet_tracer.h"
 
 namespace approxnoc {
 
@@ -90,7 +91,16 @@ class Router : public Clocked, public FlitSource
     std::uint64_t bufferWrites() const { return buffer_writes_; }
     std::uint64_t vcAllocations() const { return vc_allocs_; }
     std::uint64_t linkTraversals() const { return link_traversals_; }
+    /** Cycles a head flit wanted a downstream VC and none was free. */
+    std::uint64_t vcStalls() const { return vc_stalls_; }
     ///@}
+
+    /**
+     * Attach a lifecycle tracer (null detaches). The router emits
+     * per-head-flit "vc_alloc" and "hop" instants on its own track;
+     * when detached the hooks cost one null check each.
+     */
+    void bindTracer(telemetry::PacketTracer *t) { tracer_ = t; }
 
   private:
     struct VcBuf {
@@ -149,6 +159,9 @@ class Router : public Clocked, public FlitSource
     std::uint64_t buffer_writes_ = 0;
     std::uint64_t vc_allocs_ = 0;
     std::uint64_t link_traversals_ = 0;
+    std::uint64_t vc_stalls_ = 0;
+
+    telemetry::PacketTracer *tracer_ = nullptr;
 };
 
 } // namespace approxnoc

@@ -1,0 +1,88 @@
+#include "telemetry/packet_tracer.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace approxnoc::telemetry {
+
+bool
+PacketTracer::admit()
+{
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+PacketTracer::span(std::uint32_t tid, const std::string &name, Cycle start,
+                   Cycle dur, std::string args)
+{
+    if (!admit())
+        return;
+    events_.push_back({name, 'X', start, dur, tid, std::move(args)});
+}
+
+void
+PacketTracer::instant(std::uint32_t tid, const std::string &name, Cycle ts,
+                      std::string args)
+{
+    if (!admit())
+        return;
+    events_.push_back({name, 'i', ts, 0, tid, std::move(args)});
+}
+
+void
+PacketTracer::writeJson(std::ostream &os) const
+{
+    // Stable sort keeps same-cycle events on a track in record order
+    // (e.g. vc_alloc before hop within one cycle).
+    std::vector<const TraceEvent *> order;
+    order.reserve(events_.size());
+    for (const auto &e : events_)
+        order.push_back(&e);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         if (a->tid != b->tid)
+                             return a->tid < b->tid;
+                         return a->ts < b->ts;
+                     });
+
+    os << "{\n\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+    if (!process_name_.empty()) {
+        sep();
+        os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid_
+           << ", \"tid\": 0, \"args\": {\"name\": \""
+           << json_escape(process_name_) << "\"}}";
+    }
+    for (const auto &[tid, name] : thread_names_) {
+        sep();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid_
+           << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+           << json_escape(name) << "\"}}";
+    }
+    for (const TraceEvent *e : order) {
+        sep();
+        os << "{\"name\": \"" << json_escape(e->name)
+           << "\", \"cat\": \"noc\", \"ph\": \"" << e->ph
+           << "\", \"ts\": " << e->ts;
+        if (e->ph == 'X')
+            os << ", \"dur\": " << e->dur;
+        if (e->ph == 'i')
+            os << ", \"s\": \"t\"";
+        os << ", \"pid\": " << pid_ << ", \"tid\": " << e->tid;
+        if (!e->args.empty())
+            os << ", \"args\": " << e->args;
+        os << "}";
+    }
+    os << (first ? "" : "\n") << "],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+} // namespace approxnoc::telemetry

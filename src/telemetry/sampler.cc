@@ -1,0 +1,61 @@
+#include "telemetry/sampler.h"
+
+#include <cstdio>
+
+namespace approxnoc::telemetry {
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+Sampler::sample(Cycle now)
+{
+    std::vector<double> row;
+    row.reserve(probes_.size());
+    for (const auto &p : probes_)
+        row.push_back(p());
+    cycles_.push_back(now);
+    rows_.push_back(std::move(row));
+}
+
+void
+Sampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const auto &n : names_)
+        os << "," << n;
+    os << "\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << cycles_[r];
+        for (double v : rows_[r])
+            os << "," << num(v);
+        os << "\n";
+    }
+}
+
+void
+Sampler::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"columns\": [\"cycle\"";
+    for (const auto &n : names_)
+        os << ", \"" << n << "\"";
+    os << "],\n  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << (r ? ",\n    [" : "\n    [") << cycles_[r];
+        for (double v : rows_[r])
+            os << ", " << num(v);
+        os << "]";
+    }
+    os << (rows_.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+} // namespace approxnoc::telemetry

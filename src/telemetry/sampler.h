@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Epoch time-series sampling: a Clocked component that evaluates a set
+ * of named probes every N cycles and accumulates the readings as a
+ * (cycle x probe) table, emitted as CSV/JSON next to the other harness
+ * artifacts. The sampler is only registered with the Simulator when
+ * telemetry is on, so a disabled run pays nothing.
+ */
+#ifndef APPROXNOC_TELEMETRY_SAMPLER_H
+#define APPROXNOC_TELEMETRY_SAMPLER_H
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/clocked.h"
+
+namespace approxnoc::telemetry {
+
+/** Samples registered probes every `interval` cycles. */
+class Sampler : public Clocked
+{
+  public:
+    using ProbeFn = std::function<double()>;
+
+    explicit Sampler(Cycle interval)
+        : Clocked("sampler"), interval_(interval)
+    {}
+
+    /** Register a probe column; call before the first sample. */
+    void
+    addProbe(std::string name, ProbeFn fn)
+    {
+        names_.push_back(std::move(name));
+        probes_.push_back(std::move(fn));
+    }
+
+    void evaluate(Cycle) override {}
+
+    /** Runs after every component's advance, so a sample row sees the
+     * committed state of the cycle it is stamped with. */
+    void
+    advance(Cycle now) override
+    {
+        if (interval_ == 0 || now % interval_ != 0)
+            return;
+        sample(now);
+    }
+
+    /** Take one row unconditionally (end-of-run snapshot). */
+    void sample(Cycle now);
+
+    Cycle interval() const { return interval_; }
+    std::size_t rows() const { return cycles_.size(); }
+    const std::vector<std::string> &columns() const { return names_; }
+    const std::vector<Cycle> &sampleCycles() const { return cycles_; }
+    const std::vector<std::vector<double>> &data() const { return rows_; }
+
+    /** `cycle,probe1,probe2,...` with one row per epoch. */
+    void writeCsv(std::ostream &os) const;
+    /** `{"columns": [...], "rows": [[cycle, v1, ...], ...]}`. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    Cycle interval_;
+    std::vector<std::string> names_;
+    std::vector<ProbeFn> probes_;
+    std::vector<Cycle> cycles_;
+    std::vector<std::vector<double>> rows_;
+};
+
+} // namespace approxnoc::telemetry
+
+#endif // APPROXNOC_TELEMETRY_SAMPLER_H

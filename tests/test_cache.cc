@@ -84,7 +84,7 @@ TEST(Cache, ApproximationFlowsIntoLoads)
     CodecConfig cc;
     cc.n_nodes = cfg.n_nodes;
     cc.error_threshold_pct = 10.0;
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     ApproxCacheSystem mem(cfg, codec.get());
 
     std::size_t a = mem.alloc(64, "floats");
@@ -108,7 +108,7 @@ TEST(Cache, RawRegionsStayExact)
     CodecConfig cc;
     cc.n_nodes = cfg.n_nodes;
     cc.error_threshold_pct = 20.0;
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     ApproxCacheSystem mem(cfg, codec.get());
 
     std::size_t a = mem.alloc(64, "raw"); // no annotation
@@ -125,7 +125,7 @@ TEST(Cache, ApproxRatioZeroKeepsDataExact)
     CodecConfig cc;
     cc.n_nodes = cfg.n_nodes;
     cc.error_threshold_pct = 20.0;
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     ApproxCacheSystem mem(cfg, codec.get());
 
     std::size_t a = mem.alloc(64, "floats");
@@ -143,14 +143,14 @@ TEST(Cache, MissPenaltyTracksResponseSize)
     CacheConfig cfg = small_cache();
     CodecConfig cc;
     cc.n_nodes = cfg.n_nodes;
-    auto codec = make_codec(Scheme::FpComp, cc);
+    auto codec = CodecFactory::create(Scheme::FpComp, cc);
 
     ApproxCacheSystem zeros(cfg, codec.get());
     std::size_t a = zeros.alloc(16, "z");
     zeros.load(0, a);
     Cycle t_zero = zeros.executionCycles();
 
-    auto codec2 = make_codec(Scheme::FpComp, cc);
+    auto codec2 = CodecFactory::create(Scheme::FpComp, cc);
     ApproxCacheSystem rnd(cfg, codec2.get());
     std::size_t b = rnd.alloc(16, "r");
     for (int i = 0; i < 16; ++i)
@@ -191,7 +191,7 @@ TEST(Cache, DeterministicAcrossRuns)
         CacheConfig cfg = small_cache();
         CodecConfig cc;
         cc.n_nodes = cfg.n_nodes;
-        auto codec = make_codec(Scheme::DiVaxx, cc);
+        auto codec = CodecFactory::create(Scheme::DiVaxx, cc);
         ApproxCacheSystem mem(cfg, codec.get());
         std::size_t a = mem.alloc(256, "a");
         mem.annotate(a, 256, DataType::Int32);
@@ -310,7 +310,7 @@ TEST(Doppelganger, SynergyWithNocApproximation)
         CacheConfig cfg = small_cache();
         CodecConfig cc;
         cc.n_nodes = cfg.n_nodes;
-        auto codec = make_codec(Scheme::DiVaxx, cc);
+        auto codec = CodecFactory::create(Scheme::DiVaxx, cc);
         ApproxCacheSystem mem(cfg, codec.get());
         if (dedup)
             mem.enableDoppelganger(DoppelgangerConfig{});

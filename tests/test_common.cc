@@ -42,6 +42,96 @@ TEST(Histogram, PercentileAndOverflow)
     EXPECT_EQ(h.count(), 101u);
 }
 
+TEST(Histogram, UnderflowIsCountedNotLumped)
+{
+    Histogram h(1.0, 4);
+    h.add(-5.0);
+    h.add(-0.1);
+    h.add(0.5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.buckets()[0], 1u); // only the 0.5 sample lands in bucket 0
+}
+
+TEST(Histogram, PercentileEdges)
+{
+    Histogram h(1.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5); // one sample per bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.1), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+
+    Histogram empty(1.0, 10);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentileAllOverflow)
+{
+    Histogram h(1.0, 4);
+    for (int i = 0; i < 3; ++i)
+        h.add(100.0);
+    // Everything sits in the overflow bucket; every quantile resolves
+    // to its upper edge, (n_buckets + 1) * width.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+}
+
+TEST(Histogram, PercentileAllUnderflow)
+{
+    Histogram h(1.0, 4);
+    h.add(-1.0);
+    h.add(-2.0);
+    EXPECT_EQ(h.underflow(), 2u);
+    // Underflow ranks below every bucket: all quantiles hit the floor.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), -1.5); // sum still tracks real values
+}
+
+TEST(Histogram, PercentileSurvivesMerge)
+{
+    Histogram a(1.0, 10), b(1.0, 10), all(1.0, 10);
+    for (int i = 0; i < 10; ++i) {
+        ((i % 2) ? a : b).add(i + 0.5);
+        all.add(i + 0.5);
+    }
+    a.add(-3.0);
+    all.add(-3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.underflow(), all.underflow());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+}
+
+TEST(StatRegistry, DumpIsMergeOrderIndependent)
+{
+    auto fill = [](StatRegistry &r, int k) {
+        r.counter("z.events").inc(static_cast<std::uint64_t>(k));
+        r.counter("a.events").inc(static_cast<std::uint64_t>(2 * k));
+        r.stat("m.lat").add(1.0 * k);
+    };
+    StatRegistry r1, r2, r3;
+    fill(r1, 1);
+    fill(r2, 2);
+    fill(r3, 3);
+
+    StatRegistry fwd, rev;
+    fwd.merge(r1);
+    fwd.merge(r2);
+    fwd.merge(r3);
+    rev.merge(r3);
+    rev.merge(r2);
+    rev.merge(r1);
+
+    std::ostringstream a, b;
+    fwd.dump(a);
+    rev.dump(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("a.events 12"), std::string::npos);
+}
+
 TEST(CliArgs, ParsesForms)
 {
     const char *argv[] = {"prog", "--alpha=3", "--beta=4.5",

@@ -198,7 +198,7 @@ TEST(QosLoop, KeepsMeasuredErrorNearTarget)
     CodecConfig cc;
     cc.n_nodes = ncfg.nodes();
     cc.error_threshold_pct = 30.0; // start far too aggressive
-    auto codec = make_codec(Scheme::DiVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::DiVaxx, cc);
     Network net(ncfg, codec.get());
     Simulator sim;
     net.attach(sim);

@@ -105,7 +105,7 @@ TEST(FaultInjection, AllSpecialFloatBlockSurvivesEveryScheme)
         CodecConfig cc;
         cc.n_nodes = 4;
         cc.error_threshold_pct = 20.0;
-        auto codec = make_codec(s, cc);
+        auto codec = CodecFactory::create(s, cc);
         Cycle t = 0;
         for (int i = 0; i < 5; ++i) {
             DataBlock out = codec->decode(codec->encode(b, 0, 1, t), 0, 1, t);
@@ -120,7 +120,7 @@ TEST(FaultInjection, EmptyAndSingleWordBlocks)
     for (Scheme s : kAllSchemes) {
         CodecConfig cc;
         cc.n_nodes = 4;
-        auto codec = make_codec(s, cc);
+        auto codec = CodecFactory::create(s, cc);
         DataBlock empty(0, DataType::Int32, true);
         EncodedBlock e0 = codec->encode(empty, 0, 1, 0);
         EXPECT_EQ(e0.bits(), 0u) << to_string(s);
@@ -139,7 +139,7 @@ TEST(FaultInjection, BurstToSingleVictimDrains)
     NocConfig cfg;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);

@@ -57,7 +57,7 @@ TEST(Integration, AdaptiveWrappedDictionaryDrivesTheNetwork)
     cc.n_nodes = cfg.nodes();
     AdaptiveConfig acfg;
     acfg.n_nodes = cfg.nodes();
-    AdaptiveCodec codec(make_codec(Scheme::DiVaxx, cc), acfg);
+    AdaptiveCodec codec(CodecFactory::create(Scheme::DiVaxx, cc), acfg);
     Network net(cfg, &codec);
     Simulator sim;
     net.attach(sim);
@@ -73,7 +73,7 @@ TEST(Integration, QosLoopOnTorusWithClosedLoopTraffic)
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
     cc.error_threshold_pct = 20.0;
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);
@@ -102,7 +102,7 @@ TEST(Integration, WestFirstTorusComboDies)
     cfg.routing = RoutingAlgo::WestFirst;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(Scheme::Baseline, cc);
+    auto codec = CodecFactory::create(Scheme::Baseline, cc);
     EXPECT_DEATH({ Network net(cfg, codec.get()); },
                  "only valid on a mesh");
 }
@@ -112,7 +112,7 @@ TEST(Integration, StatsResetStartsCleanWindow)
     NocConfig cfg;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(Scheme::FpComp, cc);
+    auto codec = CodecFactory::create(Scheme::FpComp, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);

@@ -34,7 +34,7 @@ struct Bench {
     {
         CodecConfig cc;
         cc.n_nodes = cfg.nodes();
-        codec = make_codec(s, cc);
+        codec = CodecFactory::create(s, cc);
         net = std::make_unique<Network>(cfg, codec.get());
         net->attach(sim);
     }

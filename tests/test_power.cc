@@ -19,7 +19,7 @@ run_power(Scheme s)
     NocConfig cfg;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(s, cc);
+    auto codec = CodecFactory::create(s, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);
@@ -60,7 +60,7 @@ TEST(Power, StaticPowerScalesWithRouters)
     NocConfig cfg;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(Scheme::Baseline, cc);
+    auto codec = CodecFactory::create(Scheme::Baseline, cc);
     Network net(cfg, codec.get());
     PowerModel pm;
     EXPECT_DOUBLE_EQ(pm.staticPowerMw(net),

@@ -28,7 +28,7 @@ struct Rig {
     {
         CodecConfig cc;
         cc.n_nodes = cfg.nodes();
-        codec = make_codec(Scheme::Baseline, cc);
+        codec = CodecFactory::create(Scheme::Baseline, cc);
         net = std::make_unique<Network>(cfg, codec.get());
         net->attach(sim);
     }

@@ -77,7 +77,7 @@ class SchemeProperties : public ::testing::TestWithParam<Combo>
         CodecConfig cc;
         cc.n_nodes = 8;
         cc.error_threshold_pct = threshold;
-        codec_ = make_codec(scheme, cc);
+        codec_ = CodecFactory::create(scheme, cc);
 
         Rng seeder(static_cast<std::uint64_t>(threshold * 7 + 3));
         for (int i = 0; i < 6; ++i) {

@@ -23,7 +23,7 @@ struct Rig {
     {
         CodecConfig cc;
         cc.n_nodes = cfg.nodes();
-        codec = make_codec(Scheme::Baseline, cc);
+        codec = CodecFactory::create(Scheme::Baseline, cc);
         net = std::make_unique<Network>(cfg, codec.get());
         net->attach(sim);
     }
@@ -133,7 +133,7 @@ TEST(Torus, WithCompressionSchemes)
         NocConfig cfg = torus();
         CodecConfig cc;
         cc.n_nodes = cfg.nodes();
-        auto codec = make_codec(s, cc);
+        auto codec = CodecFactory::create(s, cc);
         Network net(cfg, codec.get());
         Simulator sim;
         net.attach(sim);

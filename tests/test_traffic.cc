@@ -71,7 +71,7 @@ TEST(DataProvider, SyntheticLocalityIsCompressible)
     SyntheticDataProvider p(DataType::Int32, 16, 0.95, 0.0, 5);
     CodecConfig cc;
     cc.n_nodes = 4;
-    auto codec = make_codec(Scheme::DiComp, cc);
+    auto codec = CodecFactory::create(Scheme::DiComp, cc);
     Cycle t = 0;
     std::size_t raw_bits = 0, enc_bits = 0;
     for (int i = 0; i < 400; ++i) {
@@ -142,7 +142,7 @@ TEST(Replay, InjectsEveryRecordOnce)
     NocConfig cfg;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);
@@ -167,7 +167,7 @@ TEST(Replay, ApproxRatioZeroDisablesApproximation)
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
     cc.error_threshold_pct = 20.0;
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);
@@ -183,7 +183,7 @@ TEST(ClosedLoop, RequestReplyRoundTrips)
     NocConfig cfg;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(Scheme::FpVaxx, cc);
+    auto codec = CodecFactory::create(Scheme::FpVaxx, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);
@@ -213,7 +213,7 @@ TEST(ClosedLoop, WindowBoundsOutstandingLoad)
     NocConfig cfg;
     CodecConfig cc;
     cc.n_nodes = cfg.nodes();
-    auto codec = make_codec(Scheme::Baseline, cc);
+    auto codec = CodecFactory::create(Scheme::Baseline, cc);
     Network net(cfg, codec.get());
     Simulator sim;
     net.attach(sim);

@@ -27,7 +27,7 @@ run_with(const std::string &name, Scheme scheme, double threshold)
     CodecConfig cc;
     cc.n_nodes = cfg.n_nodes;
     cc.error_threshold_pct = threshold;
-    auto codec = make_codec(scheme, cc);
+    auto codec = CodecFactory::create(scheme, cc);
     ApproxCacheSystem mem(cfg, codec.get());
     auto wl = make_workload(name);
     return wl->run(mem);

@@ -22,6 +22,7 @@
  */
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "common/cli.h"
 #include "common/log.h"
@@ -56,6 +57,10 @@ usage()
         "  --qos-target=<pct>   (enable the online error-control loop)\n"
         "  --compare=<all|s,s>  (one sim per scheme, parallel with --jobs)\n"
         "  --jobs=<n>           (worker threads for --compare, 0=auto)\n"
+        "  --metrics-out=<dir>  (hierarchical metrics JSON per run)\n"
+        "  --trace-out=<dir>    (Chrome trace-event JSON per run; open in\n"
+        "                        Perfetto or chrome://tracing)\n"
+        "  --sample-interval=<cycles>  (time-series sampling epoch, 0=off)\n"
         "  --quiet              (suppress the stats dump; print summary)\n");
 }
 
@@ -113,6 +118,25 @@ run_sim(const CliArgs &args, Scheme scheme, bool dump)
     Network net(ncfg, codec.get());
     Simulator sim;
     net.attach(sim);
+
+    // Telemetry (off unless requested). Per-scheme labels keep compare
+    // runs from clobbering each other's artifacts.
+    telemetry::TelemetryOptions topts;
+    topts.metrics_dir = args.getString("metrics-out", "");
+    topts.trace_dir = args.getString("trace-out", "");
+    topts.sample_interval =
+        static_cast<Cycle>(args.getInt("sample-interval", 0));
+    topts.label = telemetry::sanitize_component(to_string(scheme));
+    topts.pid = static_cast<std::uint32_t>(scheme);
+    std::optional<telemetry::PointTelemetry> pt;
+    if (topts.enabled()) {
+        pt.emplace(topts);
+        net.bindTelemetry(*pt);
+        if (pt->tracer())
+            pt->tracer()->setProcessName(to_string(scheme));
+        if (pt->sampler())
+            sim.add(pt->sampler());
+    }
 
     auto cycles = static_cast<Cycle>(args.getInt("cycles", 100000));
     auto warmup = static_cast<Cycle>(args.getInt("warmup", 0));
@@ -206,6 +230,17 @@ run_sim(const CliArgs &args, Scheme scheme, bool dump)
                         qos->controller().threshold(),
                         static_cast<unsigned long long>(
                             qos->controller().violations()));
+    }
+
+    if (pt) {
+        if (telemetry::Sampler *smp = pt->sampler()) {
+            if (smp->sampleCycles().empty() ||
+                smp->sampleCycles().back() != sim.now())
+                smp->sample(sim.now());
+        }
+        net.collectTelemetry(*pt->metrics());
+        pt->metrics()->counter("sim.elapsed_cycles").inc(sim.now());
+        pt->write();
     }
 
     SimSummary s;
