@@ -21,36 +21,37 @@ DiVaxxCodec::DiVaxxCodec(const DictionaryConfig &cfg, const ErrorModel &model,
 }
 
 EncodedWord
-DiVaxxCodec::encodeWord(Word w, const DataBlock &block, NodeId src, NodeId dst)
+DiVaxxCodec::encodeOne(EncoderState &e, Word w, DataType type, bool approx_ok,
+                       NodeId dst)
 {
-    EncoderState &e = encoders_[src];
-    const bool approx_ok = block.approximable() &&
-                           block.type() != DataType::Raw &&
-                           avcl_.errorModel().enabled();
-
     EncodedWord ew;
-    // One TCAM access per word (counts towards the power model); then
-    // walk every matching entry for one holding a mapping for dst.
-    e.tcam.search(w);
-    for (std::size_t slot : e.tcam.searchAll(w)) {
+    bool compressed = false;
+    // One TCAM access per word (counts towards the power model). The
+    // bit-sliced probe hands us the matches in priority order, so
+    // finding the first entry with a usable mapping for dst costs a
+    // single search instead of a search plus a full-match sweep.
+    e.tcam.searchVisit(w, [&](std::size_t slot) {
         auto it = e.dst_entries[slot].find(dst);
         if (it == e.dst_entries[slot].end())
-            continue;
+            return false;
         const DstEntry &de = it->second;
         // Approximate hit: allowed only for approximable data of the
         // same type the pattern was learned from (masks are only valid
         // within one type's semantics). Exact hit: always allowed.
         bool exact = de.original == w;
-        if (!exact && (!approx_ok || e.types[slot] != block.type()))
-            continue;
+        if (!exact && (!approx_ok || e.types[slot] != type))
+            return false;
         ew.kind = static_cast<std::uint8_t>(DiWordKind::Compressed);
         ew.bits = compressedBits();
         ew.payload = de.index;
         ew.decoded = de.original;
         ew.approximated = !exact;
         ew.approx_count = exact ? 0 : 1;
+        compressed = true;
+        return true;
+    });
+    if (compressed)
         return ew;
-    }
 
     ew.kind = static_cast<std::uint8_t>(DiWordKind::Raw);
     ew.bits = rawBits();
@@ -58,6 +59,28 @@ DiVaxxCodec::encodeWord(Word w, const DataBlock &block, NodeId src, NodeId dst)
     ew.decoded = w;
     ew.uncompressed = true;
     return ew;
+}
+
+EncodedWord
+DiVaxxCodec::encodeWord(Word w, const DataBlock &block, NodeId src, NodeId dst)
+{
+    const bool approx_ok = block.approximable() &&
+                           block.type() != DataType::Raw &&
+                           avcl_.errorModel().enabled();
+    return encodeOne(encoders_[src], w, block.type(), approx_ok, dst);
+}
+
+void
+DiVaxxCodec::encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                        EncodedBlock &out)
+{
+    EncoderState &e = encoders_[src];
+    const bool approx_ok = block.approximable() &&
+                           block.type() != DataType::Raw &&
+                           avcl_.errorModel().enabled();
+    const DataType type = block.type();
+    for (std::size_t i = 0; i < block.size(); ++i)
+        out.append(encodeOne(e, block.word(i), type, approx_ok, dst));
 }
 
 void

@@ -2,6 +2,15 @@
 
 namespace approxnoc {
 
+namespace {
+
+/** Words covered by the stack-allocated don't-care hoist; larger
+ * blocks (none in practice — cache blocks are 16 words) fall back to
+ * recomputing per word, which encodes identically. */
+constexpr std::size_t kMaxHoistedWords = 64;
+
+} // namespace
+
 EncodedBlock
 FpVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
 {
@@ -24,6 +33,34 @@ FpVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
                                    return d.dont_care_bits;
                                })
             : fpc_encode_block(block, [](std::size_t) { return 0u; });
+    noteBlockEncoded(enc);
+    return enc;
+}
+
+EncodedBlock
+FpVaxxCodec::encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
+                         Cycle now)
+{
+    const bool approximable = block.approximable() &&
+                              block.type() != DataType::Raw &&
+                              avcl_.errorModel().enabled();
+    if (!approximable || block.size() > kMaxHoistedWords)
+        return encode(block, src, dst, now);
+
+    noteEncoded(block.size());
+    unsigned k[kMaxHoistedWords];
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        Word w = block.word(i);
+        ApproxDecision d = avcl_.analyze(w, block.type());
+        if (d.bypass)
+            k[i] = 0;
+        else if (mode_ == FpcPriorityMode::PreferExact && fpc_match(w, 0))
+            k[i] = 0;
+        else
+            k[i] = d.dont_care_bits;
+    }
+    EncodedBlock enc =
+        fpc_encode_block(block, [&](std::size_t i) { return k[i]; });
     noteBlockEncoded(enc);
     return enc;
 }

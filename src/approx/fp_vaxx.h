@@ -43,6 +43,12 @@ class FpVaxxCodec : public CodecSystem
 
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
                         Cycle now) override;
+    /** Batched path: the per-word AVCL analysis is hoisted into one
+     * precomputed don't-care array, so the zero-run extension inside
+     * fpc_encode_block never re-analyzes a word at a run boundary.
+     * Emits the same NR bits as encode(). */
+    EncodedBlock encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
+                             Cycle now) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
 

@@ -225,7 +225,7 @@ ApproxCacheSystem::fill(unsigned core, Line &way, std::size_t line_idx)
     if (!l2Access(line_idx))
         penalty += cfg_.l2_miss_cycles; // slice fetches from memory
     if (codec_ && home != core_node) {
-        EncodedBlock enc = codec_->encode(precise, home, core_node, time_);
+        EncodedBlock enc = codec_->encodeBlock(precise, home, core_node, time_);
         DataBlock delivered = codec_->decode(enc, home, core_node, time_);
         unsigned flits = 1 + static_cast<unsigned>((enc.bits() + 63) / 64);
         penalty += static_cast<Cycle>(flits) * cfg_.per_flit_cycles +

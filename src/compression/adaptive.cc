@@ -13,23 +13,6 @@ AdaptiveCodec::AdaptiveCodec(std::unique_ptr<CodecSystem> inner,
                 "adaptive windows must be non-empty");
 }
 
-EncodedBlock
-AdaptiveCodec::rawBlock(const DataBlock &block) const
-{
-    EncodedBlock raw;
-    for (std::size_t i = 0; i < block.size(); ++i) {
-        EncodedWord ew;
-        ew.kind = inner_->rawKind();
-        ew.bits = 32; // raw-block flag rides in the head flit
-        ew.payload = block.word(i);
-        ew.decoded = block.word(i);
-        ew.uncompressed = true;
-        raw.append(ew);
-    }
-    raw.setMeta(block.type(), block.approximable());
-    return raw;
-}
-
 void
 AdaptiveCodec::evaluateWindow(SenderState &s)
 {
@@ -54,6 +37,20 @@ EncodedBlock
 AdaptiveCodec::encode(const DataBlock &block, NodeId src, NodeId dst,
                       Cycle now)
 {
+    return encodeImpl(block, src, dst, now, false);
+}
+
+EncodedBlock
+AdaptiveCodec::encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
+                           Cycle now)
+{
+    return encodeImpl(block, src, dst, now, true);
+}
+
+EncodedBlock
+AdaptiveCodec::encodeImpl(const DataBlock &block, NodeId src, NodeId dst,
+                          Cycle now, bool batched)
+{
     ANOC_ASSERT(src < senders_.size(), "sender out of range");
     SenderState &s = senders_[src];
 
@@ -65,13 +62,15 @@ AdaptiveCodec::encode(const DataBlock &block, NodeId src, NodeId dst,
             s.window_count = 0;
         } else {
             ++bypassed_;
-            EncodedBlock raw = rawBlock(block);
+            // Raw-block flag rides in the head flit, hence 32 bits/word.
+            EncodedBlock raw = raw_encoded_block(block, inner_->rawKind());
             noteBlockEncoded(raw);
             return raw;
         }
     }
 
-    EncodedBlock enc = inner_->encode(block, src, dst, now);
+    EncodedBlock enc = batched ? inner_->encodeBlock(block, src, dst, now)
+                               : inner_->encode(block, src, dst, now);
     s.window_raw_bits += block.sizeBits();
     s.window_enc_bits += enc.bits();
     ++s.window_count;

@@ -40,6 +40,10 @@ class AdaptiveCodec : public CodecSystem
 
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
                         Cycle now) override;
+    /** Batched path: same bypass/probe logic, delegating compressed
+     * blocks to the inner codec's batched encodeBlock. */
+    EncodedBlock encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
+                             Cycle now) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
 
@@ -98,7 +102,8 @@ class AdaptiveCodec : public CodecSystem
         std::uint32_t off_count = 0;
     };
 
-    EncodedBlock rawBlock(const DataBlock &block) const;
+    EncodedBlock encodeImpl(const DataBlock &block, NodeId src, NodeId dst,
+                            Cycle now, bool batched);
     void evaluateWindow(SenderState &s);
 
     std::unique_ptr<CodecSystem> inner_;

@@ -72,9 +72,28 @@ class CodecSystem
     /** Which paper scheme this system implements. */
     virtual Scheme scheme() const = 0;
 
-    /** Encode @p block at node @p src for destination @p dst. */
+    /**
+     * Encode @p block at node @p src for destination @p dst, one word
+     * at a time. Kept as the executable specification of the NR: the
+     * batched encodeBlock() must produce a bit-identical stream.
+     */
     virtual EncodedBlock encode(const DataBlock &block, NodeId src,
                                 NodeId dst, Cycle now) = 0;
+
+    /**
+     * Block-batched encode: the fast path every consumer (NI, cache,
+     * harness, benches) routes through. Semantically identical to
+     * encode() — same NR bits, same hit/victim choices — but schemes
+     * override it to hoist per-word virtual dispatch, telemetry checks
+     * and AVCL mask computation out of the 16-word inner loop. The
+     * default forwards to encode() for schemes whose encode is already
+     * block-level.
+     */
+    virtual EncodedBlock
+    encodeBlock(const DataBlock &block, NodeId src, NodeId dst, Cycle now)
+    {
+        return encode(block, src, dst, now);
+    }
 
     /** Decode @p enc at node @p dst, received from @p src. */
     virtual DataBlock decode(const EncodedBlock &enc, NodeId src,

@@ -50,6 +50,21 @@ DictionaryCodecBase::preloadEncoders()
 }
 
 EncodedBlock
+DictionaryCodecBase::finishEncoded(EncodedBlock enc, const DataBlock &block)
+{
+    enc.setMeta(block.type(), block.approximable());
+
+    // Incompressible-block fallback (after Das et al. [12]): when the
+    // per-word encoding would expand the block, send it raw; the
+    // compressed/raw flag rides in the (uncompressed) head flit.
+    if (enc.bits() > block.sizeBits() && block.size() > 0)
+        enc = raw_encoded_block(block,
+                                static_cast<std::uint8_t>(DiWordKind::Raw));
+    noteBlockEncoded(enc);
+    return enc;
+}
+
+EncodedBlock
 DictionaryCodecBase::encode(const DataBlock &block, NodeId src, NodeId dst,
                             Cycle now)
 {
@@ -60,28 +75,28 @@ DictionaryCodecBase::encode(const DataBlock &block, NodeId src, NodeId dst,
     EncodedBlock enc;
     for (std::size_t i = 0; i < block.size(); ++i)
         enc.append(encodeWord(block.word(i), block, src, dst));
-    enc.setMeta(block.type(), block.approximable());
+    return finishEncoded(std::move(enc), block);
+}
 
-    // Incompressible-block fallback (after Das et al. [12]): when the
-    // per-word encoding would expand the block, send it raw; the
-    // compressed/raw flag rides in the (uncompressed) head flit.
-    if (enc.bits() > block.sizeBits() && block.size() > 0) {
-        EncodedBlock raw;
-        for (std::size_t i = 0; i < block.size(); ++i) {
-            EncodedWord ew;
-            ew.kind = static_cast<std::uint8_t>(DiWordKind::Raw);
-            ew.bits = 32;
-            ew.payload = block.word(i);
-            ew.decoded = block.word(i);
-            ew.uncompressed = true;
-            raw.append(ew);
-        }
-        raw.setMeta(block.type(), block.approximable());
-        noteBlockEncoded(raw);
-        return raw;
-    }
-    noteBlockEncoded(enc);
-    return enc;
+EncodedBlock
+DictionaryCodecBase::encodeBlock(const DataBlock &block, NodeId src,
+                                 NodeId dst, Cycle now)
+{
+    ANOC_ASSERT(src < cfg_.n_nodes && dst < cfg_.n_nodes,
+                "node id out of range in dictionary encode");
+    applyPending(src, now);
+    noteEncoded(block.size());
+    EncodedBlock enc;
+    encodeSpan(block, src, dst, enc);
+    return finishEncoded(std::move(enc), block);
+}
+
+void
+DictionaryCodecBase::encodeSpan(const DataBlock &block, NodeId src,
+                                NodeId dst, EncodedBlock &out)
+{
+    for (std::size_t i = 0; i < block.size(); ++i)
+        out.append(encodeWord(block.word(i), block, src, dst));
 }
 
 DataBlock
@@ -252,8 +267,36 @@ DictionaryCodecBase::decoderWrites() const
 DiCompCodec::EncoderState::EncoderState(const DictionaryConfig &cfg)
     : cam(cfg.pmt_entries, cfg.policy),
       index_for_dst(cfg.pmt_entries,
-                    std::vector<std::int16_t>(cfg.n_nodes, kNoIndex))
+                    std::vector<std::int16_t>(cfg.n_nodes, kNoIndex)),
+      slot_of_index(cfg.n_nodes,
+                    std::vector<std::int16_t>(cfg.pmt_entries, kNoIndex))
 {}
+
+void
+DiCompCodec::EncoderState::mapIndex(std::size_t slot, NodeId dst,
+                                    std::uint8_t index)
+{
+    // The protocol guarantees at most one slot per (decoder, index):
+    // an invalidation precedes any reuse of a decoder index. Drop a
+    // stale inverse hit anyway so the two views can never diverge.
+    std::int16_t old_slot = slot_of_index[dst][index];
+    if (old_slot != kNoIndex)
+        index_for_dst[static_cast<std::size_t>(old_slot)][dst] = kNoIndex;
+    index_for_dst[slot][dst] = static_cast<std::int16_t>(index);
+    slot_of_index[dst][index] = static_cast<std::int16_t>(slot);
+}
+
+void
+DiCompCodec::EncoderState::unmapSlot(std::size_t slot)
+{
+    for (NodeId d = 0; d < index_for_dst[slot].size(); ++d) {
+        std::int16_t idx = index_for_dst[slot][d];
+        if (idx != kNoIndex) {
+            slot_of_index[d][static_cast<std::size_t>(idx)] = kNoIndex;
+            index_for_dst[slot][d] = kNoIndex;
+        }
+    }
+}
 
 DiCompCodec::DiCompCodec(const DictionaryConfig &cfg)
     : DictionaryCodecBase(cfg)
@@ -265,9 +308,8 @@ DiCompCodec::DiCompCodec(const DictionaryConfig &cfg)
 }
 
 EncodedWord
-DiCompCodec::encodeWord(Word w, const DataBlock &, NodeId src, NodeId dst)
+DiCompCodec::encodeOne(EncoderState &e, Word w, NodeId dst)
 {
-    EncoderState &e = encoders_[src];
     EncodedWord ew;
     auto slot = e.cam.search(w);
     if (slot && e.index_for_dst[*slot][dst] != kNoIndex) {
@@ -285,24 +327,41 @@ DiCompCodec::encodeWord(Word w, const DataBlock &, NodeId src, NodeId dst)
     return ew;
 }
 
+EncodedWord
+DiCompCodec::encodeWord(Word w, const DataBlock &, NodeId src, NodeId dst)
+{
+    return encodeOne(encoders_[src], w, dst);
+}
+
+void
+DiCompCodec::encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                        EncodedBlock &out)
+{
+    EncoderState &e = encoders_[src];
+    for (std::size_t i = 0; i < block.size(); ++i)
+        out.append(encodeOne(e, block.word(i), dst));
+}
+
 void
 DiCompCodec::applyUpdateAtEncoder(NodeId enc, const Update &u)
 {
     EncoderState &e = encoders_[enc];
     if (u.invalidate) {
-        for (std::size_t s = 0; s < e.cam.capacity(); ++s)
-            if (e.index_for_dst[s][u.decoder] == static_cast<std::int16_t>(u.index))
-                e.index_for_dst[s][u.decoder] = kNoIndex;
+        std::int16_t slot = e.slot_of_index[u.decoder][u.index];
+        if (slot != kNoIndex) {
+            e.index_for_dst[static_cast<std::size_t>(slot)][u.decoder] =
+                kNoIndex;
+            e.slot_of_index[u.decoder][u.index] = kNoIndex;
+        }
         return;
     }
     std::size_t slot = e.cam.victimFor(u.pattern);
     bool evicting = e.cam.valid(slot) && e.cam.key(slot) != u.pattern;
     if (evicting)
-        std::fill(e.index_for_dst[slot].begin(), e.index_for_dst[slot].end(),
-                  kNoIndex);
+        e.unmapSlot(slot);
     std::size_t got = e.cam.insert(u.pattern);
     ANOC_ASSERT(got == slot, "encoder PMT victim selection diverged");
-    e.index_for_dst[slot][u.decoder] = static_cast<std::int16_t>(u.index);
+    e.mapIndex(slot, u.decoder, u.index);
 }
 
 std::uint64_t

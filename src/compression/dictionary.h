@@ -75,6 +75,8 @@ class DictionaryCodecBase : public CodecSystem
 
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
                         Cycle now) override;
+    EncodedBlock encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
+                             Cycle now) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
 
@@ -124,6 +126,16 @@ class DictionaryCodecBase : public CodecSystem
     virtual EncodedWord encodeWord(Word w, const DataBlock &block,
                                    NodeId src, NodeId dst) = 0;
 
+    /**
+     * Batched inner loop behind encodeBlock(): append the NR of every
+     * word of @p block to @p out. The default issues one virtual
+     * encodeWord call per word; subclasses override it with a loop
+     * that hoists encoder-state lookup and per-block predicates, so
+     * the whole 16-word block costs one virtual dispatch.
+     */
+    virtual void encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                            EncodedBlock &out);
+
     /** Apply one due notification to encoder @p enc's tables. */
     virtual void applyUpdateAtEncoder(NodeId enc, const Update &u) = 0;
 
@@ -146,6 +158,10 @@ class DictionaryCodecBase : public CodecSystem
     unsigned index_bits_;
 
   private:
+    /** Shared encode tail: meta, incompressible-block fallback (after
+     * Das et al. [12]), per-block telemetry. */
+    EncodedBlock finishEncoded(EncodedBlock enc, const DataBlock &block);
+
     /** Decoder-side learning on an uncompressed word from @p src. */
     void learn(Word w, DataType type, NodeId src, NodeId dst, Cycle now);
 
@@ -199,6 +215,8 @@ class DiCompCodec : public DictionaryCodecBase
   protected:
     EncodedWord encodeWord(Word w, const DataBlock &block, NodeId src,
                            NodeId dst) override;
+    void encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                    EncodedBlock &out) override;
     void applyUpdateAtEncoder(NodeId enc, const Update &u) override;
 
   private:
@@ -208,9 +226,24 @@ class DiCompCodec : public DictionaryCodecBase
         Cam cam;
         /** [slot][dst] -> decoder index or kNoIndex. */
         std::vector<std::vector<std::int16_t>> index_for_dst;
+        /**
+         * Inverse view, [dst][index] -> slot or kNoIndex, so an
+         * invalidation notification drops its mapping in O(1) instead
+         * of sweeping every CAM slot.
+         */
+        std::vector<std::vector<std::int16_t>> slot_of_index;
 
         EncoderState(const DictionaryConfig &cfg);
+
+        /** Set slot/index/dst triple, dropping any stale inverse hit. */
+        void mapIndex(std::size_t slot, NodeId dst, std::uint8_t index);
+        /** Clear every per-destination mapping of @p slot (eviction). */
+        void unmapSlot(std::size_t slot);
     };
+
+    /** The per-word encode step both paths share: O(1) hashed CAM
+     * lookup, then the per-destination index check. */
+    EncodedWord encodeOne(EncoderState &e, Word w, NodeId dst);
 
     std::vector<EncoderState> encoders_;
 };

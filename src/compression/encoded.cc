@@ -42,4 +42,22 @@ EncodedBlock::expectedBlock() const
     return DataBlock(std::move(ws), type_, approximable_);
 }
 
+EncodedBlock
+raw_encoded_block(const DataBlock &block, std::uint8_t kind,
+                  std::uint16_t bits_per_word)
+{
+    EncodedBlock raw;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+        EncodedWord ew;
+        ew.kind = kind;
+        ew.bits = bits_per_word;
+        ew.payload = block.word(i);
+        ew.decoded = block.word(i);
+        ew.uncompressed = true;
+        raw.append(ew);
+    }
+    raw.setMeta(block.type(), block.approximable());
+    return raw;
+}
+
 } // namespace approxnoc

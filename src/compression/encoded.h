@@ -95,6 +95,15 @@ class EncodedBlock
     bool approximable_ = false;
 };
 
+/**
+ * Build the all-raw NR for @p block: every word uncompressed under the
+ * scheme-specific raw @p kind, @p bits_per_word bits each (32 when the
+ * compressed/raw flag rides in the head flit). Shared by the
+ * incompressible-block fallbacks and the adaptive bypass path.
+ */
+EncodedBlock raw_encoded_block(const DataBlock &block, std::uint8_t kind,
+                               std::uint16_t bits_per_word = 32);
+
 } // namespace approxnoc
 
 #endif // APPROXNOC_COMPRESSION_ENCODED_H

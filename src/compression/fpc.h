@@ -155,20 +155,9 @@ fpc_encode_block(const DataBlock &block, KFn &&k_of_word)
     // Incompressible-block fallback (after Das et al. [12]): a block
     // the patterns cannot shrink travels raw; the compressed/raw flag
     // rides in the (uncompressed) head flit.
-    if (enc.bits() > block.sizeBits() && block.size() > 0) {
-        EncodedBlock raw;
-        for (std::size_t j = 0; j < block.size(); ++j) {
-            EncodedWord ew;
-            ew.kind = static_cast<std::uint8_t>(FpcPattern::Uncompressed);
-            ew.bits = 32;
-            ew.payload = block.word(j);
-            ew.decoded = block.word(j);
-            ew.uncompressed = true;
-            raw.append(ew);
-        }
-        raw.setMeta(block.type(), block.approximable());
-        return raw;
-    }
+    if (enc.bits() > block.sizeBits() && block.size() > 0)
+        return raw_encoded_block(
+            block, static_cast<std::uint8_t>(FpcPattern::Uncompressed));
     return enc;
 }
 

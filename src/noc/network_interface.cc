@@ -26,7 +26,7 @@ NetworkInterface::enqueue(const PacketPtr &pkt, Cycle now)
     pkt->created = now;
     Cycle ready = now;
     if (pkt->carries_block) {
-        pkt->enc = codec_->encode(pkt->precise, pkt->src, pkt->dst, now);
+        pkt->enc = codec_->encodeBlock(pkt->precise, pkt->src, pkt->dst, now);
         pkt->n_flits =
             1 + payload_flits(pkt->enc.bits(), cfg_.flit_bits);
         ready = now + codec_->compressionLatency();

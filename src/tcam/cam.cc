@@ -6,10 +6,83 @@
 
 namespace approxnoc {
 
+namespace {
+
+std::size_t
+index_buckets_for(std::size_t capacity)
+{
+    std::size_t want = capacity * 2;
+    std::size_t n = 8;
+    while (n < want)
+        n <<= 1;
+    return n;
+}
+
+} // namespace
+
 Cam::Cam(std::size_t n_entries, ReplacementPolicy policy)
-    : entries_(n_entries), policy_(policy)
+    : entries_(n_entries), index_(index_buckets_for(n_entries), kEmpty),
+      index_mask_(index_.size() - 1), policy_(policy)
 {
     ANOC_ASSERT(n_entries > 0, "CAM must have at least one entry");
+}
+
+std::size_t
+Cam::findSlot(Word key) const
+{
+    std::size_t b = hashKey(key) & index_mask_;
+    while (true) {
+        std::int32_t v = index_[b];
+        if (v == kEmpty)
+            return kNoSlot;
+        if (v != kTombstone) {
+            const Entry &e = entries_[static_cast<std::size_t>(v)];
+            if (e.valid && e.key == key)
+                return static_cast<std::size_t>(v);
+        }
+        b = (b + 1) & index_mask_;
+    }
+}
+
+void
+Cam::indexInsert(Word key, std::size_t slot)
+{
+    std::size_t b = hashKey(key) & index_mask_;
+    while (index_[b] != kEmpty && index_[b] != kTombstone)
+        b = (b + 1) & index_mask_;
+    if (index_[b] == kTombstone)
+        --tombstones_;
+    index_[b] = static_cast<std::int32_t>(slot);
+}
+
+void
+Cam::indexErase(Word key, std::size_t slot)
+{
+    std::size_t b = hashKey(key) & index_mask_;
+    while (true) {
+        std::int32_t v = index_[b];
+        ANOC_ASSERT(v != kEmpty, "CAM index entry missing on erase");
+        if (v == static_cast<std::int32_t>(slot)) {
+            index_[b] = kTombstone;
+            ++tombstones_;
+            break;
+        }
+        b = (b + 1) & index_mask_;
+    }
+    // A quarter of the table dead is the classic rebuild point: probe
+    // chains stay short and the rebuild cost amortizes to O(1).
+    if (tombstones_ > index_.size() / 4)
+        rebuildIndex();
+}
+
+void
+Cam::rebuildIndex()
+{
+    std::fill(index_.begin(), index_.end(), kEmpty);
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].valid)
+            indexInsert(entries_[i].key, i);
 }
 
 std::optional<std::size_t>
@@ -17,36 +90,36 @@ Cam::search(Word key)
 {
     ++searches_;
     ++tick_;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        Entry &e = entries_[i];
-        if (e.valid && e.key == key) {
-            e.last_use = tick_;
-            ++e.freq;
-            return i;
-        }
-    }
-    return std::nullopt;
+    std::size_t slot = findSlot(key);
+    if (slot == kNoSlot)
+        return std::nullopt;
+    Entry &e = entries_[slot];
+    e.last_use = tick_;
+    ++e.freq;
+    return slot;
 }
 
 std::optional<std::size_t>
 Cam::peek(Word key) const
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &e = entries_[i];
-        if (e.valid && e.key == key)
-            return i;
-    }
-    return std::nullopt;
+    ++peeks_;
+    std::size_t slot = findSlot(key);
+    if (slot == kNoSlot)
+        return std::nullopt;
+    return slot;
 }
 
 std::size_t
 Cam::pickVictim() const
 {
-    // Prefer an invalid slot.
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (!entries_[i].valid)
-            return i;
+    // Prefer the lowest-index invalid slot.
+    if (valid_count_ < entries_.size())
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            if (!entries_[i].valid)
+                return i;
 
+    // All valid: minimum replacement score; strict '<' makes ties break
+    // deterministically towards the lowest slot index.
     std::size_t victim = 0;
     std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -77,6 +150,13 @@ Cam::insert(Word key)
     std::size_t slot = victimFor(key);
     Entry &e = entries_[slot];
     bool rehit = e.valid && e.key == key;
+    if (!rehit) {
+        if (e.valid)
+            indexErase(e.key, slot);
+        else
+            ++valid_count_;
+        indexInsert(key, slot);
+    }
     e.valid = true;
     e.key = key;
     e.last_use = tick_;
@@ -88,6 +168,10 @@ void
 Cam::erase(std::size_t slot)
 {
     ANOC_ASSERT(slot < entries_.size(), "CAM slot out of range");
+    if (entries_[slot].valid) {
+        indexErase(entries_[slot].key, slot);
+        --valid_count_;
+    }
     entries_[slot] = Entry{};
 }
 
@@ -96,6 +180,9 @@ Cam::clear()
 {
     for (auto &e : entries_)
         e = Entry{};
+    std::fill(index_.begin(), index_.end(), kEmpty);
+    tombstones_ = 0;
+    valid_count_ = 0;
 }
 
 void
@@ -105,15 +192,6 @@ Cam::touch(std::size_t slot)
     ++tick_;
     entries_[slot].last_use = tick_;
     ++entries_[slot].freq;
-}
-
-std::size_t
-Cam::validCount() const
-{
-    std::size_t n = 0;
-    for (const auto &e : entries_)
-        n += e.valid ? 1 : 0;
-    return n;
 }
 
 } // namespace approxnoc

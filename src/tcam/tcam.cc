@@ -22,51 +22,70 @@ TernaryPattern::toString(unsigned width) const
 }
 
 Tcam::Tcam(std::size_t n_entries, ReplacementPolicy policy)
-    : entries_(n_entries), valids_(n_entries, false),
-      last_use_(n_entries, 0), freq_(n_entries, 0), policy_(policy)
+    : capacity_(n_entries), chunks_((n_entries + 63) / 64),
+      entries_(n_entries), planes_(64 * chunks_, 0),
+      valid_bits_(chunks_, 0), last_use_(n_entries, 0), freq_(n_entries, 0),
+      policy_(policy)
 {
     ANOC_ASSERT(n_entries > 0, "TCAM must have at least one entry");
 }
 
-std::optional<std::size_t>
-Tcam::search(Word key)
+void
+Tcam::writeSlotPlanes(std::size_t slot, const TernaryPattern *p)
 {
-    ++searches_;
-    ++tick_;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (valids_[i] && entries_[i].matches(key)) {
-            last_use_[i] = tick_;
-            ++freq_[i];
-            return i;
+    const std::size_t c = slot >> 6;
+    const std::uint64_t bit = 1ull << (slot & 63);
+    for (unsigned b = 0; b < 32; ++b) {
+        std::uint64_t &p0 = planes_[(b << 1) * chunks_ + c];
+        std::uint64_t &p1 = planes_[((b << 1) | 1u) * chunks_ + c];
+        p0 &= ~bit;
+        p1 &= ~bit;
+        if (!p)
+            continue;
+        const Word m = 1u << b;
+        if (p->mask & m) { // don't care: matches either key bit
+            p0 |= bit;
+            p1 |= bit;
+        } else if (p->value & m) {
+            p1 |= bit;
+        } else {
+            p0 |= bit;
         }
     }
-    return std::nullopt;
 }
 
 std::vector<std::size_t>
 Tcam::searchAll(Word key) const
 {
+    ++peeks_;
     std::vector<std::size_t> hits;
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (valids_[i] && entries_[i].matches(key))
-            hits.push_back(i);
+    for (std::size_t c = 0; c < chunks_; ++c) {
+        std::uint64_t m = matchChunk(key, c);
+        while (m) {
+            hits.push_back(c * 64 +
+                           static_cast<std::size_t>(std::countr_zero(m)));
+            m &= m - 1;
+        }
+    }
     return hits;
 }
 
 std::optional<std::size_t>
 Tcam::peek(Word key) const
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (valids_[i] && entries_[i].matches(key))
-            return i;
+    ++peeks_;
+    for (std::size_t c = 0; c < chunks_; ++c)
+        if (std::uint64_t m = matchChunk(key, c))
+            return c * 64 + static_cast<std::size_t>(std::countr_zero(m));
     return std::nullopt;
 }
 
 std::optional<std::size_t>
 Tcam::findPattern(const TernaryPattern &p) const
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (valids_[i] && entries_[i] == p)
+    ++peeks_;
+    for (std::size_t i = 0; i < capacity_; ++i)
+        if (valid(i) && entries_[i] == p)
             return i;
     return std::nullopt;
 }
@@ -74,13 +93,21 @@ Tcam::findPattern(const TernaryPattern &p) const
 std::size_t
 Tcam::pickVictim() const
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (!valids_[i])
-            return i;
+    // Prefer the lowest-index invalid slot.
+    for (std::size_t c = 0; c < chunks_; ++c) {
+        std::uint64_t tail = c + 1 < chunks_ || capacity_ % 64 == 0
+                                 ? ~0ull
+                                 : (1ull << (capacity_ % 64)) - 1;
+        std::uint64_t free = ~valid_bits_[c] & tail;
+        if (free)
+            return c * 64 + static_cast<std::size_t>(std::countr_zero(free));
+    }
 
+    // All valid: minimum replacement score; strict '<' makes ties break
+    // deterministically towards the lowest slot index.
     std::size_t victim = 0;
     std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
         std::uint64_t score =
             policy_ == ReplacementPolicy::Lru ? last_use_[i] : freq_[i];
         if (score < best) {
@@ -112,8 +139,12 @@ Tcam::insert(const TernaryPattern &p)
         slot = pickVictim();
         freq_[slot] = 1;
     }
+    if (!valid(slot)) {
+        valid_bits_[slot >> 6] |= 1ull << (slot & 63);
+        ++valid_count_;
+    }
     entries_[slot] = p.canonical();
-    valids_[slot] = true;
+    writeSlotPlanes(slot, &entries_[slot]);
     last_use_[slot] = tick_;
     return slot;
 }
@@ -121,8 +152,12 @@ Tcam::insert(const TernaryPattern &p)
 void
 Tcam::erase(std::size_t slot)
 {
-    ANOC_ASSERT(slot < entries_.size(), "TCAM slot out of range");
-    valids_[slot] = false;
+    ANOC_ASSERT(slot < capacity_, "TCAM slot out of range");
+    if (valid(slot)) {
+        valid_bits_[slot >> 6] &= ~(1ull << (slot & 63));
+        --valid_count_;
+        writeSlotPlanes(slot, nullptr);
+    }
     entries_[slot] = TernaryPattern{};
     last_use_[slot] = 0;
     freq_[slot] = 0;
@@ -131,26 +166,17 @@ Tcam::erase(std::size_t slot)
 void
 Tcam::clear()
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i)
+    for (std::size_t i = 0; i < capacity_; ++i)
         erase(i);
 }
 
 void
 Tcam::touch(std::size_t slot)
 {
-    ANOC_ASSERT(slot < entries_.size(), "TCAM slot out of range");
+    ANOC_ASSERT(slot < capacity_, "TCAM slot out of range");
     ++tick_;
     last_use_[slot] = tick_;
     ++freq_[slot];
-}
-
-std::size_t
-Tcam::validCount() const
-{
-    std::size_t n = 0;
-    for (bool v : valids_)
-        n += v ? 1 : 0;
-    return n;
 }
 
 } // namespace approxnoc
