@@ -10,6 +10,12 @@
  * warmup, written as machine-readable JSON. scripts/bench_compare.py
  * diffs two such files; CI runs it against the checked-in seed
  * baseline (bench/baselines/). See docs/perf.md.
+ *
+ * --encode-jobs=N adds the flow-sharded parallel axis to --bench-out:
+ * a multi-flow workload (one flow per source endpoint) encoded through
+ * harness::FlowShardedEncoder at jobs=1 and jobs=N, per scheme, with
+ * the two streams' bit sinks cross-checked — the jobs=1/jobs=N
+ * equivalence guarantee, measured rather than assumed.
  */
 #include <benchmark/benchmark.h>
 
@@ -31,6 +37,7 @@
 #include "compression/dictionary.h"
 #include "compression/fpc.h"
 #include "core/codec_factory.h"
+#include "harness/flow_sharded_encoder.h"
 #include "tcam/tcam.h"
 
 // The same source builds against the pre-optimization tree (no
@@ -297,8 +304,101 @@ run_scheme(Scheme scheme, const std::string &key,
     return res;
 }
 
+/**
+ * The flow-sharded parallel encode axis: the same block mix spread
+ * round-robin over kParFlows disjoint (src, dst) flows, one flow per
+ * source endpoint, encoded through FlowShardedEncoder. Reported per
+ * scheme as words/sec at jobs=1 and jobs=N, cross-checked for the
+ * jobs-equivalence guarantee (identical total NR bits).
+ */
+constexpr std::size_t kParFlows = 8;
+
+struct ParallelResult {
+    std::string key;
+    double j1_words_per_sec = 0;
+    double jn_words_per_sec = 0;
+    double speedup = 0;
+    std::uint64_t sink = 0;
+};
+
+ParallelResult
+run_parallel_scheme(Scheme scheme, const std::string &key,
+                    const std::vector<DataBlock> &blocks, int reps,
+                    unsigned encode_jobs)
+{
+    CodecConfig cfg;
+    cfg.n_nodes = 2 * kParFlows;
+    cfg.error_threshold_pct = kErrorThresholdPct;
+    cfg.dict.pmt_entries = kPmtEntries;
+    cfg.dict.tracker_entries = 64;
+    auto codec = CodecFactory::create(scheme, cfg);
+
+    // Train every flow's dictionary pair serially, exactly as the
+    // single-flow harness does.
+    Cycle now = 0;
+    auto flow_src = [](std::size_t b) {
+        return static_cast<NodeId>(b % kParFlows);
+    };
+    auto flow_dst = [](std::size_t b) {
+        return static_cast<NodeId>(kParFlows + b % kParFlows);
+    };
+    for (int pass = 0; pass < kWarmupPasses; ++pass) {
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            EncodedBlock enc = codec->encodeBlock(blocks[b], flow_src(b),
+                                                  flow_dst(b), now);
+            codec->decode(enc, flow_src(b), flow_dst(b), now);
+            now += 51;
+        }
+    }
+    now += 100000; // flush in-flight updates; steady-state encoder
+
+    std::vector<harness::EncodeRequest> reqs;
+    reqs.reserve(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        reqs.push_back({&blocks[b], flow_src(b), flow_dst(b), now});
+
+    const double words =
+        static_cast<double>(blocks.size() * kWordsPerBlock * kInnerIters);
+    auto measure = [&](unsigned jobs, std::uint64_t &sink) {
+        harness::FlowShardedEncoder enc(*codec, jobs);
+        std::vector<double> rep_wps;
+        for (int rep = 0; rep < reps; ++rep) {
+            std::uint64_t rep_sink = 0;
+            auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t it = 0; it < kInnerIters; ++it) {
+                auto out = enc.encodeAll(reqs);
+                for (const auto &e : out)
+                    rep_sink += e.bits();
+            }
+            auto t1 = std::chrono::steady_clock::now();
+            double secs = std::chrono::duration<double>(t1 - t0).count();
+            rep_wps.push_back(words / secs);
+            sink = rep_sink;
+        }
+        std::sort(rep_wps.begin(), rep_wps.end());
+        return rep_wps[rep_wps.size() / 2];
+    };
+
+    ParallelResult res;
+    res.key = key;
+    std::uint64_t sink1 = 0, sinkN = 0;
+    res.j1_words_per_sec = measure(1, sink1);
+    res.jn_words_per_sec = measure(encode_jobs, sinkN);
+    if (sink1 != sinkN) {
+        std::fprintf(stderr,
+                     "micro_codec: PARALLEL ENCODE MISMATCH for %s: "
+                     "jobs=1 bits %llu != jobs=%u bits %llu\n",
+                     key.c_str(), static_cast<unsigned long long>(sink1),
+                     encode_jobs, static_cast<unsigned long long>(sinkN));
+        std::exit(1);
+    }
+    res.sink = sink1;
+    res.speedup = res.jn_words_per_sec / res.j1_words_per_sec;
+    return res;
+}
+
 int
-run(const std::string &path, int reps)
+run(const std::string &path, int reps, unsigned encode_jobs)
 {
     const auto blocks = make_workload();
     const std::pair<Scheme, const char *> schemes[] = {
@@ -313,6 +413,22 @@ run(const std::string &path, int reps)
         std::fprintf(stderr, "%-10s %12.0f words/sec  %8.2f ns/word\n",
                      key, results.back().words_per_sec,
                      results.back().ns_per_word);
+    }
+
+    std::vector<ParallelResult> par;
+    if (encode_jobs > 1) {
+        for (const auto &[scheme, key] : schemes) {
+            if (scheme == Scheme::Baseline)
+                continue; // memcpy-bound; sharding overhead only
+            par.push_back(run_parallel_scheme(scheme, key, blocks, reps,
+                                              encode_jobs));
+            std::fprintf(stderr,
+                         "%-10s parallel %8u flows  j1 %12.0f  j%u %12.0f "
+                         "words/sec  %.2fx\n",
+                         key, static_cast<unsigned>(kParFlows),
+                         par.back().j1_words_per_sec, encode_jobs,
+                         par.back().jn_words_per_sec, par.back().speedup);
+        }
     }
 
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -354,7 +470,30 @@ run(const std::string &path, int reps)
                      static_cast<unsigned long long>(r.sink),
                      i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  }\n}\n");
+    std::fprintf(f, "  }%s\n", par.empty() ? "" : ",");
+    if (!par.empty()) {
+        std::fprintf(f,
+                     "  \"parallel\": {\n"
+                     "    \"encode_jobs\": %u,\n"
+                     "    \"flows\": %zu,\n"
+                     "    \"results\": {\n",
+                     encode_jobs, kParFlows);
+        for (std::size_t i = 0; i < par.size(); ++i) {
+            const ParallelResult &r = par[i];
+            std::fprintf(f,
+                         "      \"%s\": {\n"
+                         "        \"words_per_sec_jobs1\": %.6g,\n"
+                         "        \"words_per_sec_jobsN\": %.6g,\n"
+                         "        \"speedup\": %.4g,\n"
+                         "        \"enc_bits_sink\": %llu\n      }%s\n",
+                         r.key.c_str(), r.j1_words_per_sec,
+                         r.jn_words_per_sec, r.speedup,
+                         static_cast<unsigned long long>(r.sink),
+                         i + 1 < par.size() ? "," : "");
+        }
+        std::fprintf(f, "    }\n  }\n");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::fprintf(stderr, "micro_codec: wrote %s\n", path.c_str());
     return 0;
@@ -369,6 +508,7 @@ main(int argc, char **argv)
 {
     std::string bench_path;
     int reps = 5;
+    unsigned encode_jobs = 1;
     std::vector<char *> rest{argv[0]};
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -378,11 +518,14 @@ main(int argc, char **argv)
             bench_path = argv[++i];
         else if (a.rfind("--bench-reps=", 0) == 0)
             reps = std::max(1, std::atoi(a.c_str() + 13));
+        else if (a.rfind("--encode-jobs=", 0) == 0)
+            encode_jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(a.c_str() + 14)));
         else
             rest.push_back(argv[i]);
     }
     if (!bench_path.empty())
-        return bench_out::run(bench_path, reps);
+        return bench_out::run(bench_path, reps, encode_jobs);
 
     int rest_argc = static_cast<int>(rest.size());
     benchmark::Initialize(&rest_argc, rest.data());

@@ -12,8 +12,11 @@ regression detected, 2 = malformed input.
 
 The default threshold (15%) is a noise floor, not a precision claim:
 single-machine medians wobble by several percent, so only sustained
-drops should trip the gate. CI runs in --report-only mode until enough
-baseline points exist to trust enforcement (see docs/perf.md).
+drops should trip the gate. CI enforces with a wider --threshold=0.5
+because the checked-in seed baseline comes from a different machine
+class than the shared runners — the gate is tuned to catch structural
+regressions (a reverted match-engine optimization is a 3-5x drop), not
+scheduler noise (see docs/perf.md).
 """
 
 import argparse

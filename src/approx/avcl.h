@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/relaxed_counter.h"
 #include "common/types.h"
 
 #include "approx/error_model.h"
@@ -77,7 +78,10 @@ class Avcl
 
   private:
     ErrorModel model_;
-    std::uint64_t activations_ = 0;
+    /** Relaxed-atomic: one Avcl instance is shared by every encoder
+     * node of a codec, so concurrent per-flow encode shards race only
+     * on this commutative count — the datapath itself is pure. */
+    RelaxedCounter activations_;
 };
 
 } // namespace approxnoc

@@ -225,6 +225,11 @@ ApproxCacheSystem::fill(unsigned core, Line &way, std::size_t line_idx)
     if (!l2Access(line_idx))
         penalty += cfg_.l2_miss_cycles; // slice fetches from memory
     if (codec_ && home != core_node) {
+        // encode+decode back to back on one thread: fills are free to
+        // use any (home, core) pair because the cache never overlaps
+        // codec calls. A parallel fill path would have to shard
+        // encodes by home node and serialize the decodes — the
+        // CodecSystem flow-isolation contract (compression/codec.h).
         EncodedBlock enc = codec_->encodeBlock(precise, home, core_node, time_);
         DataBlock delivered = codec_->decode(enc, home, core_node, time_);
         unsigned flits = 1 + static_cast<unsigned>((enc.bits() + 63) / 64);

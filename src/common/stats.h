@@ -13,21 +13,29 @@
 #include <string>
 #include <vector>
 
+#include "common/relaxed_counter.h"
+
 namespace approxnoc {
 
-/** Monotonic event counter. */
+/**
+ * Monotonic event counter. Increments are relaxed-atomic so codecs
+ * bound to one set of telemetry counters can record from concurrent
+ * per-flow encode shards (harness/FlowShardedEncoder): addition
+ * commutes, so the total is independent of thread interleaving and
+ * the dumped stats stay byte-identical to a serial run.
+ */
 class Counter
 {
   public:
-    void inc(std::uint64_t n = 1) { value_ += n; }
-    std::uint64_t value() const { return value_; }
+    void inc(std::uint64_t n = 1) { value_.add(n); }
+    std::uint64_t value() const { return value_.load(); }
     void reset() { value_ = 0; }
 
     /** Fold another counter in (parallel per-shard merge). */
-    void merge(const Counter &o) { value_ += o.value_; }
+    void merge(const Counter &o) { value_.add(o.value()); }
 
   private:
-    std::uint64_t value_ = 0;
+    RelaxedCounter value_;
 };
 
 /** Streaming mean / min / max / variance accumulator (Welford). */

@@ -108,8 +108,12 @@ class AdaptiveCodec : public CodecSystem
 
     std::unique_ptr<CodecSystem> inner_;
     AdaptiveConfig cfg_;
+    /** Mode windows are per sender, preserving the CodecSystem
+     * flow-isolation contract: concurrent encodes for distinct src
+     * touch disjoint SenderStates. */
     std::vector<SenderState> senders_;
-    std::uint64_t bypassed_ = 0;
+    /** Relaxed-atomic: the only cross-sender encode-side state. */
+    RelaxedCounter bypassed_;
 };
 
 } // namespace approxnoc

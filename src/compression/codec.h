@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/data_block.h"
+#include "common/relaxed_counter.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -59,6 +60,28 @@ struct CodecCounters {
  * block headed src -> dst; decode() runs at the destination NI.
  * Dictionary schemes are stateful and time-aware (update notifications
  * apply after a delay), hence the @p now parameters.
+ *
+ * ## Flow-isolation contract (parallel encoding)
+ *
+ * Encoder-side mutable state is keyed by the *source* endpoint: the
+ * dictionary schemes keep one PMT (CAM/TCAM plus replacement
+ * metadata) and one pending-update FIFO per encoder node, the
+ * adaptive wrapper one mode window per sender, and the stateless
+ * schemes no per-call state at all. Blocks of flows with distinct
+ * @p src therefore never share mutable encoder state, and
+ * encode()/encodeBlock() calls for distinct @p src may run
+ * concurrently. The remaining cross-source state is commutative
+ * relaxed-atomic counters (word counts, AVCL activations, telemetry
+ * CodecCounters), so totals are independent of thread interleaving.
+ *
+ * Callers must still serialize (a) all encodes of any one source
+ * endpoint, in submission order — same-src blocks contend on that
+ * encoder's replacement state and update FIFO even when their @p dst
+ * differ — and (b) every decode() against everything, since decoding
+ * mutates per-destination learning state shared across senders and
+ * the global notification queue. harness/FlowShardedEncoder enforces
+ * exactly this partitioning and is the supported way to encode a
+ * batch of independent blocks in parallel.
  */
 class CodecSystem
 {
@@ -187,9 +210,13 @@ class CodecSystem
     std::uint64_t wordsDecoded() const { return words_decoded_; }
 
   private:
-    std::uint64_t mismatches_ = 0;
-    std::uint64_t words_encoded_ = 0;
-    std::uint64_t words_decoded_ = 0;
+    /** Relaxed-atomic: encode-side bookkeeping shared by every source
+     * endpoint. Sums commute, so parallel per-flow encode shards
+     * produce the same totals as a serial run (see the flow-isolation
+     * contract above). */
+    RelaxedCounter mismatches_;
+    RelaxedCounter words_encoded_;
+    RelaxedCounter words_decoded_;
     CodecCounters counters_;
 };
 

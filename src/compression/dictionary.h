@@ -67,6 +67,16 @@ enum class DiWordKind : std::uint8_t {
  * Shared machinery: decoder PMTs + candidate trackers, the delayed
  * update channel, eviction/invalidation bookkeeping and the decode
  * path. Subclasses own the encoder-side structures.
+ *
+ * State isolation (the CodecSystem flow-isolation contract, which the
+ * parallel encode path in harness/FlowShardedEncoder relies on):
+ * encode()/encodeBlock() for source s touches only the subclass's
+ * encoders_[s] (PMT, replacement metadata, per-destination index
+ * views) and pending_[s] (the update FIFO applyPending drains) plus
+ * relaxed-atomic counters — never decoders_, notify_queue_ or another
+ * source's tables. decode() is the opposite: it mutates decoders_[dst]
+ * (shared across senders), the notification queue and, via send(),
+ * any encoder's pending FIFO, so decodes must stay serialized.
  */
 class DictionaryCodecBase : public CodecSystem
 {

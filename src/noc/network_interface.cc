@@ -26,6 +26,14 @@ NetworkInterface::enqueue(const PacketPtr &pkt, Cycle now)
     pkt->created = now;
     Cycle ready = now;
     if (pkt->carries_block) {
+        // Flow-isolation contract (compression/codec.h): this NI is
+        // the only writer of encoder state keyed by its own endpoint,
+        // so every encode it issues stays inside one flow shard. The
+        // assert keeps that true if packet routing ever changes —
+        // encoding on behalf of another source would silently break
+        // the per-src partitioning FlowShardedEncoder relies on.
+        ANOC_ASSERT(pkt->src == id_,
+                    "NI must encode only as its own source endpoint");
         pkt->enc = codec_->encodeBlock(pkt->precise, pkt->src, pkt->dst, now);
         pkt->n_flits =
             1 + payload_flits(pkt->enc.bits(), cfg_.flit_bits);

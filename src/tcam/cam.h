@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/relaxed_counter.h"
 #include "common/types.h"
 
 namespace approxnoc {
@@ -141,7 +142,10 @@ class Cam
     ReplacementPolicy policy_;
     std::uint64_t tick_ = 0;
     std::uint64_t searches_ = 0;
-    mutable std::uint64_t peeks_ = 0;
+    /** Relaxed-atomic: peek() is const and thread-safe, so concurrent
+     * read-only probes (diagnostics, parallel stats dumps) may race
+     * only on this count, never on match state. */
+    mutable RelaxedCounter peeks_;
     std::uint64_t writes_ = 0;
 };
 

@@ -208,7 +208,10 @@ class Tcam
     std::size_t valid_count_ = 0;
     std::uint64_t tick_ = 0;
     std::uint64_t searches_ = 0;
-    mutable std::uint64_t peeks_ = 0;
+    /** Relaxed-atomic: peek()/searchAll()/findPattern() are const and
+     * thread-safe against each other, so concurrent read-only probes
+     * race only on this count, never on match state. */
+    mutable RelaxedCounter peeks_;
     std::uint64_t writes_ = 0;
 };
 

@@ -170,6 +170,54 @@ TEST(Tcam, EraseFreesSlot)
     EXPECT_FALSE(t.search(0x10));
 }
 
+// Counter contract of the fused probe (DI-VAXX encodeOne drives
+// searchVisit directly): every searchVisit() call is exactly one
+// search() for power accounting — never a peek — no matter how many
+// slots the visitor inspects or whether it accepts any.
+TEST(Tcam, SearchVisitCountsOneSearchNoPeeks)
+{
+    Tcam t(8);
+    // Three patterns matching key 0x100, in priority order. insert()
+    // probes for an existing canonical pattern internally; those count
+    // as peeks, so take the baseline after the inserts.
+    std::size_t s0 = t.insert(TernaryPattern{0x100, 0xFF});
+    t.insert(TernaryPattern{0x100, 0xF});
+    t.insert(TernaryPattern{0x100, 0x0});
+    const std::uint64_t base_peeks = t.peeks();
+
+    // Visitor rejects everything: all matches visited, one search, no
+    // peeks; the highest-priority hit is still reported.
+    std::size_t visited = 0;
+    auto r = t.searchVisit(0x100, [&](std::size_t) {
+        ++visited;
+        return false;
+    });
+    ASSERT_TRUE(r);
+    EXPECT_EQ(*r, s0);
+    EXPECT_EQ(visited, 3u);
+    EXPECT_EQ(t.searches(), 1u);
+    EXPECT_EQ(t.peeks(), base_peeks);
+
+    // Visitor accepts the second candidate: early exit, still 1 search.
+    visited = 0;
+    r = t.searchVisit(0x100, [&](std::size_t) { return ++visited == 2; });
+    ASSERT_TRUE(r);
+    EXPECT_EQ(visited, 2u);
+    EXPECT_EQ(t.searches(), 2u);
+    EXPECT_EQ(t.peeks(), base_peeks);
+
+    // Miss (no pattern matches): 1 search, visitor never called.
+    r = t.searchVisit(0xDEAD0000, [](std::size_t) { return true; });
+    EXPECT_FALSE(r);
+    EXPECT_EQ(t.searches(), 3u);
+    EXPECT_EQ(t.peeks(), base_peeks);
+
+    // Diagnostic probes stay on the peek side of the ledger.
+    t.peek(0x100);
+    EXPECT_EQ(t.searches(), 3u);
+    EXPECT_EQ(t.peeks(), base_peeks + 1);
+}
+
 TEST(Tcam, RandomizedMatchSemantics)
 {
     Rng rng(31);

@@ -206,3 +206,29 @@ TEST(DiVaxx, StressConsistencyUnderEviction)
     }
     EXPECT_EQ(c.consistencyMismatches(), 0u);
 }
+
+// Power-model regression for the fused probe (encodeOne's single
+// searchVisit): encoding n non-zero words costs exactly n TCAM
+// searches, whether each word hits approximately, hits exactly, misses
+// outright, or matches a pattern whose slot has no mapping for the
+// destination (the visitor rejects and the priority scan continues —
+// still within the same one search).
+TEST(DiVaxx, FusedProbeCostsOneSearchPerWord)
+{
+    DiVaxxCodec c(small_config(), ErrorModel(20.0));
+    Cycle t = 0;
+    train(c, 1000, 0, 1, t);
+    train(c, 2000, 0, 1, t); // second entry: priority scan has depth
+
+    // approximate hit, exact hit, miss, approximate hit on entry 2.
+    std::uint64_t before = c.encoderSearches();
+    DataBlock b({1001, 1000, 777777, 2003}, DataType::Int32, true);
+    c.encode(b, 0, 1, t);
+    EXPECT_EQ(c.encoderSearches(), before + 4);
+
+    // Unknown destination: patterns match but no slot has a dst-3
+    // mapping, so every visit is rejected — cost is still 1 per word.
+    before = c.encoderSearches();
+    c.encode(b, 0, 3, t);
+    EXPECT_EQ(c.encoderSearches(), before + 4);
+}

@@ -1,0 +1,447 @@
+/**
+ * The executable specification of flow-sharded parallel block
+ * encoding (harness/flow_sharded_encoder.h), in the same spirit as
+ * the RefTcam/RefCam differential tests: the serial jobs=1 path *is*
+ * the spec, and the concurrent path must match it byte for byte.
+ *
+ *  - randomized multi-flow workloads: bit-identical EncodedBlock
+ *    streams and identical merged stats (activity counters, telemetry
+ *    CodecCounters, consistency mismatches) for jobs=1 vs jobs=N,
+ *    for every scheme including the adaptive wrapper, plus a
+ *    follow-up probe wave proving the *encoder state* the two runs
+ *    left behind is indistinguishable;
+ *  - an adversarial same-flow-interleaving test with an instrumented
+ *    codec proving blocks that share an encoder endpoint are never
+ *    encoded concurrently and always arrive in submission order;
+ *  - merge-order determinism and failure propagation.
+ *
+ * The whole file is run under -fsanitize=thread in the CI
+ * tsan-concurrency job, which turns any violation of the
+ * flow-isolation contract (compression/codec.h) into a hard failure.
+ */
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compression/adaptive.h"
+#include "core/codec_factory.h"
+#include "harness/flow_sharded_encoder.h"
+
+using namespace approxnoc;
+using harness::EncodeRequest;
+using harness::FlowShardedEncoder;
+
+namespace {
+
+constexpr std::size_t kFlows = 6;
+constexpr std::size_t kNodes = 2 * kFlows; ///< srcs 0..F-1, dsts F..2F-1
+
+/** Value-local multi-flow workload: hot values + near-misses + noise. */
+std::vector<DataBlock>
+make_workload(std::uint64_t seed, std::size_t n_blocks)
+{
+    Rng rng(seed);
+    std::vector<Word> hot(48);
+    for (auto &h : hot)
+        h = (static_cast<Word>(rng.bits()) | 0x00400000u) & 0x7FFFFFFFu;
+    std::vector<DataBlock> blocks;
+    blocks.reserve(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws) {
+            double r = rng.uniform();
+            if (r < 0.15)
+                w = 0;
+            else if (r < 0.6)
+                w = hot[rng.next(hot.size())];
+            else if (r < 0.8)
+                w = hot[rng.next(hot.size())] ^
+                    static_cast<Word>(rng.next(128));
+            else
+                w = static_cast<Word>(rng.bits());
+        }
+        blocks.emplace_back(std::move(ws), DataType::Int32, true);
+    }
+    return blocks;
+}
+
+/** Requests spreading @p blocks round-robin over the kFlows flows. */
+std::vector<EncodeRequest>
+make_requests(const std::vector<DataBlock> &blocks, Cycle now)
+{
+    std::vector<EncodeRequest> reqs;
+    reqs.reserve(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        NodeId f = static_cast<NodeId>(b % kFlows);
+        reqs.push_back({&blocks[b], f, static_cast<NodeId>(kFlows + f), now});
+    }
+    return reqs;
+}
+
+struct CodecUnderTest {
+    std::string name;
+    std::unique_ptr<CodecSystem> codec;
+};
+
+/** The five paper schemes plus the adaptive wrapper, fresh instances. */
+std::vector<CodecUnderTest>
+make_codecs()
+{
+    CodecConfig cfg;
+    cfg.n_nodes = kNodes;
+    cfg.error_threshold_pct = 10.0;
+    cfg.dict.pmt_entries = 16;
+    cfg.dict.tracker_entries = 32;
+
+    std::vector<CodecUnderTest> out;
+    for (Scheme s : {Scheme::FpComp, Scheme::FpVaxx, Scheme::DiComp,
+                     Scheme::DiVaxx})
+        out.push_back({to_string(s), CodecFactory::create(s, cfg)});
+
+    AdaptiveConfig acfg;
+    acfg.n_nodes = kNodes;
+    acfg.window_blocks = 8;
+    acfg.off_blocks = 16;
+    acfg.probe_blocks = 4;
+    out.push_back({"adaptive(DI-VAXX)",
+                   std::make_unique<AdaptiveCodec>(
+                       CodecFactory::create(Scheme::DiVaxx, cfg), acfg)});
+    return out;
+}
+
+/** Train dictionaries: serial encode/decode round trips per flow. */
+void
+train(CodecSystem &codec, const std::vector<DataBlock> &blocks)
+{
+    Cycle now = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            NodeId f = static_cast<NodeId>(b % kFlows);
+            EncodedBlock enc = codec.encodeBlock(
+                blocks[b], f, static_cast<NodeId>(kFlows + f), now);
+            codec.decode(enc, f, static_cast<NodeId>(kFlows + f), now);
+            now += 53;
+        }
+    }
+}
+
+void
+expect_identical_streams(const std::vector<EncodedBlock> &a,
+                         const std::vector<EncodedBlock> &b,
+                         const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].bits(), b[i].bits()) << what << " block " << i;
+        ASSERT_EQ(a[i].wordCount(), b[i].wordCount()) << what << " block " << i;
+        ASSERT_EQ(a[i].type(), b[i].type()) << what << " block " << i;
+        ASSERT_EQ(a[i].approximable(), b[i].approximable())
+            << what << " block " << i;
+        const auto &wa = a[i].words();
+        const auto &wb = b[i].words();
+        ASSERT_EQ(wa.size(), wb.size()) << what << " block " << i;
+        for (std::size_t w = 0; w < wa.size(); ++w) {
+            ASSERT_EQ(wa[w].kind, wb[w].kind)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].bits, wb[w].bits)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].payload, wb[w].payload)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].run, wb[w].run)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].decoded, wb[w].decoded)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].approximated, wb[w].approximated)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].approx_count, wb[w].approx_count)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].uncompressed, wb[w].uncompressed)
+                << what << " block " << i << " word " << w;
+        }
+    }
+}
+
+void
+expect_identical_activity(const CodecActivity &a, const CodecActivity &b,
+                          const std::string &what)
+{
+    EXPECT_EQ(a.words_encoded, b.words_encoded) << what;
+    EXPECT_EQ(a.words_decoded, b.words_decoded) << what;
+    EXPECT_EQ(a.cam_searches, b.cam_searches) << what;
+    EXPECT_EQ(a.cam_writes, b.cam_writes) << what;
+    EXPECT_EQ(a.tcam_searches, b.tcam_searches) << what;
+    EXPECT_EQ(a.tcam_writes, b.tcam_writes) << what;
+    EXPECT_EQ(a.avcl_ops, b.avcl_ops) << what;
+}
+
+struct BoundCounters {
+    Counter blocks_encoded, blocks_decoded, hit_exact, hit_approx, miss_raw,
+        bits_out;
+
+    CodecCounters
+    handles()
+    {
+        CodecCounters c;
+        c.blocks_encoded = &blocks_encoded;
+        c.blocks_decoded = &blocks_decoded;
+        c.hit_exact = &hit_exact;
+        c.hit_approx = &hit_approx;
+        c.miss_raw = &miss_raw;
+        c.bits_out = &bits_out;
+        return c;
+    }
+};
+
+/**
+ * (a) of the headline suite: for every scheme, a trained codec encoded
+ * serially and an identically trained twin encoded at jobs=4 must
+ * produce bit-identical streams, identical merged stats, and identical
+ * residual encoder state (checked by a second, serial probe wave).
+ */
+TEST(ParallelEncode, BitIdenticalStreamsAndStatsAcrossJobs)
+{
+    const auto blocks = make_workload(0x5EED, 480);
+    const auto probe = make_workload(0xF00D, 120);
+
+    auto serial = make_codecs();
+    auto sharded = make_codecs();
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+        SCOPED_TRACE(serial[c].name);
+        BoundCounters ctr1, ctrN;
+        serial[c].codec->bindCounters(ctr1.handles());
+        sharded[c].codec->bindCounters(ctrN.handles());
+        train(*serial[c].codec, blocks);
+        train(*sharded[c].codec, blocks);
+
+        const Cycle now = 1000000; // past every in-flight update
+        auto reqs = make_requests(blocks, now);
+
+        FlowShardedEncoder enc1(*serial[c].codec, 1);
+        FlowShardedEncoder encN(*sharded[c].codec, 4);
+        auto out1 = enc1.encodeAll(reqs);
+        auto outN = encN.encodeAll(reqs);
+        EXPECT_EQ(encN.lastShardCount(), kFlows);
+
+        expect_identical_streams(out1, outN, serial[c].name + " wave 1");
+        expect_identical_activity(serial[c].codec->activity(),
+                                  sharded[c].codec->activity(),
+                                  serial[c].name + " activity");
+        EXPECT_EQ(serial[c].codec->consistencyMismatches(),
+                  sharded[c].codec->consistencyMismatches());
+        EXPECT_EQ(ctr1.blocks_encoded.value(), ctrN.blocks_encoded.value());
+        EXPECT_EQ(ctr1.hit_exact.value(), ctrN.hit_exact.value());
+        EXPECT_EQ(ctr1.hit_approx.value(), ctrN.hit_approx.value());
+        EXPECT_EQ(ctr1.miss_raw.value(), ctrN.miss_raw.value());
+        EXPECT_EQ(ctr1.bits_out.value(), ctrN.bits_out.value());
+
+        // The state either run leaves behind must be indistinguishable:
+        // replay a fresh probe wave serially through both codecs.
+        auto probe_reqs = make_requests(probe, now + 1);
+        auto probe1 = enc1.encodeAll(probe_reqs);
+        FlowShardedEncoder probeN(*sharded[c].codec, 1);
+        auto probeN_out = probeN.encodeAll(probe_reqs);
+        expect_identical_streams(probe1, probeN_out,
+                                 serial[c].name + " probe wave");
+    }
+}
+
+/** Decoding the jobs=N streams must reconstruct the same data the
+ * serial streams do, with zero consistency mismatches. */
+TEST(ParallelEncode, DecodedDataMatchesSerialPath)
+{
+    const auto blocks = make_workload(0xD0D0, 240);
+    auto serial = make_codecs();
+    auto sharded = make_codecs();
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+        SCOPED_TRACE(serial[c].name);
+        train(*serial[c].codec, blocks);
+        train(*sharded[c].codec, blocks);
+        const Cycle now = 1000000;
+        auto reqs = make_requests(blocks, now);
+        auto out1 = FlowShardedEncoder(*serial[c].codec, 1).encodeAll(reqs);
+        auto outN = FlowShardedEncoder(*sharded[c].codec, 3).encodeAll(reqs);
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            DataBlock d1 = serial[c].codec->decode(out1[i], reqs[i].src,
+                                                   reqs[i].dst, now);
+            DataBlock dN = sharded[c].codec->decode(outN[i], reqs[i].src,
+                                                    reqs[i].dst, now);
+            ASSERT_EQ(d1.words(), dN.words()) << "block " << i;
+        }
+        EXPECT_EQ(serial[c].codec->consistencyMismatches(),
+                  sharded[c].codec->consistencyMismatches());
+    }
+}
+
+/**
+ * Instrumented codec for the adversarial interleaving test: records,
+ * under a mutex, which source endpoints are being encoded at any
+ * moment and in what order each source's requests arrive. A short
+ * sleep widens the race window so a broken scheduler actually
+ * overlaps same-src encodes instead of getting lucky.
+ */
+class InterleaveProbeCodec : public CodecSystem
+{
+  public:
+    explicit InterleaveProbeCodec(std::size_t n_srcs)
+        : last_index_(n_srcs, -1)
+    {}
+
+    Scheme scheme() const override { return Scheme::Baseline; }
+
+    EncodedBlock
+    encode(const DataBlock &block, NodeId src, NodeId dst, Cycle now) override
+    {
+        return encodeBlock(block, src, dst, now);
+    }
+
+    EncodedBlock
+    encodeBlock(const DataBlock &block, NodeId src, NodeId /*dst*/,
+                Cycle now) override
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            if (!active_srcs_.insert(src).second)
+                same_src_overlap_ = true;
+            // Submission index rides in `now`; per-src order must be
+            // strictly increasing (= submission order).
+            if (static_cast<long>(now) <= last_index_[src])
+                order_violation_ = true;
+            last_index_[src] = static_cast<long>(now);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            active_srcs_.erase(src);
+        }
+        EncodedBlock enc;
+        EncodedWord w;
+        w.bits = 33;
+        w.payload = static_cast<std::uint32_t>(now); // echo submission idx
+        w.decoded = block.size() ? block.word(0) : 0;
+        w.uncompressed = true;
+        enc.append(w);
+        enc.setMeta(block.type(), block.approximable());
+        return enc;
+    }
+
+    DataBlock
+    decode(const EncodedBlock &enc, NodeId, NodeId, Cycle) override
+    {
+        return DataBlock({enc.words().front().decoded}, enc.type(),
+                         enc.approximable());
+    }
+
+    bool sameSrcOverlap() const { return same_src_overlap_; }
+    bool orderViolation() const { return order_violation_; }
+
+  private:
+    std::mutex mtx_;
+    std::set<NodeId> active_srcs_;
+    std::vector<long> last_index_;
+    bool same_src_overlap_ = false;
+    bool order_violation_ = false;
+};
+
+/**
+ * (b) of the headline suite: blocks of one flow — more strongly, of
+ * one encoder endpoint — are never in flight concurrently, and each
+ * endpoint sees its requests in submission order, at every job count.
+ */
+TEST(ParallelEncode, SameFlowBlocksNeverEncodedConcurrently)
+{
+    constexpr std::size_t kSrcs = 3;
+    constexpr std::size_t kBlocksPerSrc = 40;
+    std::vector<DataBlock> blocks;
+    for (std::size_t i = 0; i < kSrcs * kBlocksPerSrc; ++i)
+        blocks.emplace_back(std::vector<Word>{static_cast<Word>(i)},
+                            DataType::Int32, false);
+
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        InterleaveProbeCodec probe(kSrcs);
+        std::vector<EncodeRequest> reqs;
+        for (std::size_t i = 0; i < blocks.size(); ++i)
+            reqs.push_back({&blocks[i], static_cast<NodeId>(i % kSrcs),
+                            static_cast<NodeId>(kSrcs),
+                            static_cast<Cycle>(i)});
+        FlowShardedEncoder enc(probe, jobs);
+        auto out = enc.encodeAll(reqs);
+        EXPECT_FALSE(probe.sameSrcOverlap()) << "jobs=" << jobs;
+        EXPECT_FALSE(probe.orderViolation()) << "jobs=" << jobs;
+        // Merge order: result i is the encode of request i.
+        ASSERT_EQ(out.size(), reqs.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_EQ(out[i].words().front().payload, i) << "jobs=" << jobs;
+    }
+}
+
+/** A throwing encode surfaces as one exception; other shards finish. */
+TEST(ParallelEncode, EncodeFailurePropagates)
+{
+    class ThrowingCodec : public InterleaveProbeCodec
+    {
+      public:
+        ThrowingCodec() : InterleaveProbeCodec(4) {}
+        EncodedBlock
+        encodeBlock(const DataBlock &b, NodeId src, NodeId dst,
+                    Cycle now) override
+        {
+            if (src == 2)
+                throw std::runtime_error("injected encode failure");
+            return InterleaveProbeCodec::encodeBlock(b, src, dst, now);
+        }
+    };
+
+    std::vector<DataBlock> blocks;
+    for (std::size_t i = 0; i < 32; ++i)
+        blocks.emplace_back(std::vector<Word>{static_cast<Word>(i)},
+                            DataType::Int32, false);
+    std::vector<EncodeRequest> reqs;
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        reqs.push_back({&blocks[i], static_cast<NodeId>(i % 4), 5,
+                        static_cast<Cycle>(i)});
+
+    ThrowingCodec codec;
+    FlowShardedEncoder enc(codec, 4);
+    EXPECT_THROW(
+        {
+            try {
+                enc.encodeAll(reqs);
+            } catch (const std::runtime_error &e) {
+                EXPECT_NE(std::string(e.what()).find("src 2"),
+                          std::string::npos);
+                EXPECT_NE(std::string(e.what()).find("injected"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        std::runtime_error);
+    EXPECT_FALSE(codec.sameSrcOverlap());
+}
+
+/** jobs=0 resolves to hardware concurrency and still merges in
+ * submission order (smoke for the auto-jobs path). */
+TEST(ParallelEncode, AutoJobsIsDeterministic)
+{
+    const auto blocks = make_workload(0xABCD, 180);
+    auto a = make_codecs();
+    auto b = make_codecs();
+    for (std::size_t c = 0; c < a.size(); ++c) {
+        SCOPED_TRACE(a[c].name);
+        train(*a[c].codec, blocks);
+        train(*b[c].codec, blocks);
+        auto reqs = make_requests(blocks, 1000000);
+        auto out1 = FlowShardedEncoder(*a[c].codec, 1).encodeAll(reqs);
+        auto outA = FlowShardedEncoder(*b[c].codec, 0).encodeAll(reqs);
+        expect_identical_streams(out1, outA, a[c].name + " auto-jobs");
+    }
+}
+
+} // namespace

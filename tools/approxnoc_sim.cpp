@@ -17,9 +17,15 @@
  *   compare          : --compare=<all|scheme,scheme,...> [--jobs=N]
  *                      one simulation per scheme, run in parallel,
  *                      reported as one table
+ *   encode bench     : --encode-bench[=all|scheme,...] [--encode-jobs=N]
+ *                      [--flows --blocks --reps] — no network; batch
+ *                      block encoding through FlowShardedEncoder,
+ *                      jobs=1 vs jobs=N cross-checked and timed
  *
  * Single-scheme runs end with the gem5-style stats dump.
  */
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -29,6 +35,7 @@
 #include "common/table.h"
 #include "core/codec_factory.h"
 #include "harness/experiment.h"
+#include "harness/flow_sharded_encoder.h"
 #include "noc/network.h"
 #include "noc/qos_loop.h"
 #include "sim/simulator.h"
@@ -57,6 +64,11 @@ usage()
         "  --qos-target=<pct>   (enable the online error-control loop)\n"
         "  --compare=<all|s,s>  (one sim per scheme, parallel with --jobs)\n"
         "  --jobs=<n>           (worker threads for --compare, 0=auto)\n"
+        "  --encode-bench[=all|s,s]  (batch block-encode benchmark; no\n"
+        "                        network — flow-sharded parallel encode,\n"
+        "                        jobs=1 vs jobs=N cross-checked)\n"
+        "  --encode-jobs=<n>    (encoder shard workers, 0=auto; default 0)\n"
+        "  --flows=8 --blocks=4096 --reps=3   (encode-bench workload)\n"
         "  --metrics-out=<dir>  (hierarchical metrics JSON per run)\n"
         "  --trace-out=<dir>    (Chrome trace-event JSON per run; open in\n"
         "                        Perfetto or chrome://tracing)\n"
@@ -292,6 +304,120 @@ run_compare(const CliArgs &args)
     return all_ok ? 0 : 1;
 }
 
+/**
+ * `--encode-bench` mode: no network, just batch block encoding through
+ * FlowShardedEncoder. The workload spreads --blocks synthetic blocks
+ * round-robin over --flows disjoint (src, dst) flows, trains the
+ * dictionaries with serial encode+decode passes, then times
+ * encodeAll() at jobs=1 and jobs=--encode-jobs. The two runs' total
+ * NR-bit counts must match exactly (the jobs-equivalence guarantee of
+ * the flow-isolation contract); a mismatch fails the run.
+ */
+int
+run_encode_bench(const CliArgs &args)
+{
+    std::string list = args.getString("encode-bench", "");
+    std::vector<Scheme> schemes =
+        list.empty()
+            ? std::vector<Scheme>{scheme_from_string(
+                  args.getString("scheme", "FP-VAXX"))}
+            : harness::parse_scheme_list(list);
+
+    auto flows = static_cast<unsigned>(args.getInt("flows", 8));
+    auto n_blocks = static_cast<std::size_t>(args.getInt("blocks", 4096));
+    unsigned encode_jobs =
+        static_cast<unsigned>(args.getInt("encode-jobs", 0));
+    int reps = static_cast<int>(args.getInt("reps", 3));
+    auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    constexpr std::size_t kWordsPerBlock = 16;
+
+    DataType type = args.getString("type", "float") == "int"
+                        ? DataType::Int32
+                        : DataType::Float32;
+    SyntheticDataProvider provider(type, kWordsPerBlock, 0.9, 3.0, seed,
+                                   0.7, 8);
+    auto flow_src = [&](std::size_t b) {
+        return static_cast<NodeId>(b % flows);
+    };
+    auto flow_dst = [&](std::size_t b) {
+        return static_cast<NodeId>(flows + b % flows);
+    };
+    std::vector<DataBlock> blocks;
+    blocks.reserve(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b)
+        blocks.push_back(provider.next(flow_src(b)));
+
+    Table t({"scheme", "jobs", "shards", "j1 Mw/s", "jN Mw/s", "speedup",
+             "status"});
+    bool all_ok = true;
+    unsigned resolved_jobs = 0;
+    for (Scheme scheme : schemes) {
+        CodecConfig cc;
+        cc.n_nodes = 2 * flows;
+        cc.error_threshold_pct = args.getDouble("threshold", 10.0);
+        auto codec = CodecFactory::create(scheme, cc);
+
+        // Serial training passes so both timed runs start from the same
+        // steady-state tables; the long gap flushes in-flight updates.
+        Cycle now = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+            for (std::size_t b = 0; b < blocks.size(); ++b) {
+                EncodedBlock enc = codec->encodeBlock(
+                    blocks[b], flow_src(b), flow_dst(b), now);
+                codec->decode(enc, flow_src(b), flow_dst(b), now);
+                now += 51;
+            }
+        }
+        now += 100000;
+
+        std::vector<harness::EncodeRequest> reqs;
+        reqs.reserve(blocks.size());
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            reqs.push_back({&blocks[b], flow_src(b), flow_dst(b), now});
+
+        const double words =
+            static_cast<double>(blocks.size() * kWordsPerBlock);
+        std::size_t shards = 0;
+        auto measure = [&](unsigned jobs, std::uint64_t &sink) {
+            harness::FlowShardedEncoder enc(*codec, jobs);
+            resolved_jobs = jobs == 1 ? resolved_jobs : enc.jobs();
+            std::vector<double> rep_wps;
+            for (int rep = 0; rep < reps; ++rep) {
+                std::uint64_t rep_sink = 0;
+                auto t0 = std::chrono::steady_clock::now();
+                auto out = enc.encodeAll(reqs);
+                auto t1 = std::chrono::steady_clock::now();
+                for (const auto &e : out)
+                    rep_sink += e.bits();
+                double secs =
+                    std::chrono::duration<double>(t1 - t0).count();
+                rep_wps.push_back(words / secs);
+                sink = rep_sink;
+            }
+            shards = enc.lastShardCount();
+            std::sort(rep_wps.begin(), rep_wps.end());
+            return rep_wps[rep_wps.size() / 2];
+        };
+
+        std::uint64_t sink1 = 0, sinkN = 0;
+        double j1 = measure(1, sink1);
+        double jn = measure(encode_jobs, sinkN);
+        bool ok = sink1 == sinkN;
+        all_ok = all_ok && ok;
+
+        auto row = t.row();
+        row.cell(to_string(scheme))
+            .cell(static_cast<long>(resolved_jobs))
+            .cell(static_cast<long>(shards))
+            .cell(j1 / 1e6, 2)
+            .cell(jn / 1e6, 2)
+            .cell(jn / j1, 2)
+            .cell(std::string(ok ? "ok" : "BIT MISMATCH"));
+    }
+    t.print(std::cout);
+    return all_ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -305,6 +431,8 @@ main(int argc, char **argv)
 
     if (args.has("compare"))
         return run_compare(args);
+    if (args.has("encode-bench"))
+        return run_encode_bench(args);
 
     Scheme scheme =
         scheme_from_string(args.getString("scheme", "FP-VAXX"));
