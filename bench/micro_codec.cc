@@ -16,6 +16,13 @@
  * harness::FlowShardedEncoder at jobs=1 and jobs=N, per scheme, with
  * the two streams' bit sinks cross-checked — the jobs=1/jobs=N
  * equivalence guarantee, measured rather than assumed.
+ *
+ * --decode-jobs=N adds the decode-side twin: the encoded multi-flow
+ * batch decoded through harness::FlowShardedDecoder at jobs=1 and
+ * jobs=N on two identically trained codec instances (decode mutates
+ * learning state, so one instance cannot serve both job counts), with
+ * word sums, consistency mismatches and per-destination notification
+ * streams cross-checked.
  */
 #include <benchmark/benchmark.h>
 
@@ -37,7 +44,7 @@
 #include "compression/dictionary.h"
 #include "compression/fpc.h"
 #include "core/codec_factory.h"
-#include "harness/flow_sharded_encoder.h"
+#include "harness/sharded_codec_pipeline.h"
 #include "tcam/tcam.h"
 
 // The same source builds against the pre-optimization tree (no
@@ -397,8 +404,134 @@ run_parallel_scheme(Scheme scheme, const std::string &key,
     return res;
 }
 
+/**
+ * The flow-sharded parallel decode axis. Decode mutates decoder-side
+ * learning state, so measuring jobs=1 and then jobs=N on one codec
+ * would hand the second measurement different dictionaries — instead
+ * two instances are trained through the identical serial schedule,
+ * each serves one job count, and twin-hood is verified afterwards
+ * (equal word sums, consistency mismatches, and per-destination
+ * notification streams including sequence numbers).
+ */
+ParallelResult
+run_parallel_decode_scheme(Scheme scheme, const std::string &key,
+                           const std::vector<DataBlock> &blocks, int reps,
+                           unsigned decode_jobs)
+{
+    CodecConfig cfg;
+    cfg.n_nodes = 2 * kParFlows;
+    cfg.error_threshold_pct = kErrorThresholdPct;
+    cfg.dict.pmt_entries = kPmtEntries;
+    cfg.dict.tracker_entries = 64;
+
+    auto flow_src = [](std::size_t b) {
+        return static_cast<NodeId>(b % kParFlows);
+    };
+    auto flow_dst = [](std::size_t b) {
+        return static_cast<NodeId>(kParFlows + b % kParFlows);
+    };
+
+    Cycle measure_at = 0;
+    auto make_trained = [&]() {
+        auto codec = CodecFactory::create(scheme, cfg);
+        Cycle now = 0;
+        for (int pass = 0; pass < kWarmupPasses; ++pass) {
+            for (std::size_t b = 0; b < blocks.size(); ++b) {
+                EncodedBlock enc = codec->encodeBlock(blocks[b], flow_src(b),
+                                                      flow_dst(b), now);
+                codec->decodeBlock(enc, flow_src(b), flow_dst(b), now);
+                now += 51;
+            }
+        }
+        // Discard the training-time notifications so the post-measure
+        // stream comparison sees only what the measured decodes emit.
+        for (NodeId d = 0; d < static_cast<NodeId>(cfg.n_nodes); ++d)
+            codec->drainNotifications(d);
+        measure_at = now + 100000;
+        return codec;
+    };
+    auto codec1 = make_trained();
+    auto codecN = make_trained();
+
+    // Encode the measured batch once per twin (encoding also evolves
+    // state, so each twin must encode its own copy).
+    auto encode_batch = [&](CodecSystem &c) {
+        std::vector<EncodedBlock> encs;
+        encs.reserve(blocks.size());
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            encs.push_back(c.encodeBlock(blocks[b], flow_src(b), flow_dst(b),
+                                         measure_at));
+        return encs;
+    };
+    auto encs1 = encode_batch(*codec1);
+    auto encsN = encode_batch(*codecN);
+
+    const double words =
+        static_cast<double>(blocks.size() * kWordsPerBlock * kInnerIters);
+    auto measure = [&](CodecSystem &c, const std::vector<EncodedBlock> &encs,
+                       unsigned jobs, std::uint64_t &sink) {
+        std::vector<harness::DecodeRequest> reqs;
+        reqs.reserve(encs.size());
+        for (std::size_t b = 0; b < encs.size(); ++b)
+            reqs.push_back({&encs[b], flow_src(b), flow_dst(b), measure_at});
+        harness::FlowShardedDecoder dec(c, jobs);
+        std::vector<double> rep_wps;
+        for (int rep = 0; rep < reps; ++rep) {
+            std::uint64_t rep_sink = 0;
+            auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t it = 0; it < kInnerIters; ++it) {
+                auto out = dec.decodeAll(reqs);
+                for (const auto &db : out)
+                    for (std::size_t w = 0; w < db.size(); ++w)
+                        rep_sink += db.word(w);
+            }
+            auto t1 = std::chrono::steady_clock::now();
+            double secs = std::chrono::duration<double>(t1 - t0).count();
+            rep_wps.push_back(words / secs);
+            sink = rep_sink;
+        }
+        std::sort(rep_wps.begin(), rep_wps.end());
+        return rep_wps[rep_wps.size() / 2];
+    };
+
+    ParallelResult res;
+    res.key = key;
+    std::uint64_t sink1 = 0, sinkN = 0;
+    res.j1_words_per_sec = measure(*codec1, encs1, 1, sink1);
+    res.jn_words_per_sec = measure(*codecN, encsN, decode_jobs, sinkN);
+
+    bool notes_equal = true;
+    for (NodeId d = 0; d < static_cast<NodeId>(cfg.n_nodes); ++d) {
+        auto n1 = codec1->drainNotifications(d);
+        auto nN = codecN->drainNotifications(d);
+        if (n1.size() != nN.size()) {
+            notes_equal = false;
+            break;
+        }
+        for (std::size_t i = 0; i < n1.size(); ++i)
+            if (n1[i].from != nN[i].from || n1[i].to != nN[i].to ||
+                n1[i].seq != nN[i].seq)
+                notes_equal = false;
+    }
+    if (sink1 != sinkN ||
+        codec1->consistencyMismatches() != codecN->consistencyMismatches() ||
+        !notes_equal) {
+        std::fprintf(stderr,
+                     "micro_codec: PARALLEL DECODE MISMATCH for %s: "
+                     "jobs=1 sum %llu != jobs=%u sum %llu (or notification/"
+                     "mismatch streams diverged)\n",
+                     key.c_str(), static_cast<unsigned long long>(sink1),
+                     decode_jobs, static_cast<unsigned long long>(sinkN));
+        std::exit(1);
+    }
+    res.sink = sink1;
+    res.speedup = res.jn_words_per_sec / res.j1_words_per_sec;
+    return res;
+}
+
 int
-run(const std::string &path, int reps, unsigned encode_jobs)
+run(const std::string &path, int reps, unsigned encode_jobs,
+    unsigned decode_jobs)
 {
     const auto blocks = make_workload();
     const std::pair<Scheme, const char *> schemes[] = {
@@ -428,6 +561,23 @@ run(const std::string &path, int reps, unsigned encode_jobs)
                          key, static_cast<unsigned>(kParFlows),
                          par.back().j1_words_per_sec, encode_jobs,
                          par.back().jn_words_per_sec, par.back().speedup);
+        }
+    }
+
+    std::vector<ParallelResult> pardec;
+    if (decode_jobs > 1) {
+        for (const auto &[scheme, key] : schemes) {
+            if (scheme == Scheme::Baseline)
+                continue; // memcpy-bound; sharding overhead only
+            pardec.push_back(run_parallel_decode_scheme(scheme, key, blocks,
+                                                        reps, decode_jobs));
+            std::fprintf(stderr,
+                         "%-10s par-decode %6u flows  j1 %12.0f  j%u %12.0f "
+                         "words/sec  %.2fx\n",
+                         key, static_cast<unsigned>(kParFlows),
+                         pardec.back().j1_words_per_sec, decode_jobs,
+                         pardec.back().jn_words_per_sec,
+                         pardec.back().speedup);
         }
     }
 
@@ -470,7 +620,8 @@ run(const std::string &path, int reps, unsigned encode_jobs)
                      static_cast<unsigned long long>(r.sink),
                      i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  }%s\n", par.empty() ? "" : ",");
+    std::fprintf(f, "  }%s\n",
+                 par.empty() && pardec.empty() ? "" : ",");
     if (!par.empty()) {
         std::fprintf(f,
                      "  \"parallel\": {\n"
@@ -491,6 +642,28 @@ run(const std::string &path, int reps, unsigned encode_jobs)
                          static_cast<unsigned long long>(r.sink),
                          i + 1 < par.size() ? "," : "");
         }
+        std::fprintf(f, "    }\n  }%s\n", pardec.empty() ? "" : ",");
+    }
+    if (!pardec.empty()) {
+        std::fprintf(f,
+                     "  \"parallel_decode\": {\n"
+                     "    \"decode_jobs\": %u,\n"
+                     "    \"flows\": %zu,\n"
+                     "    \"results\": {\n",
+                     decode_jobs, kParFlows);
+        for (std::size_t i = 0; i < pardec.size(); ++i) {
+            const ParallelResult &r = pardec[i];
+            std::fprintf(f,
+                         "      \"%s\": {\n"
+                         "        \"words_per_sec_jobs1\": %.6g,\n"
+                         "        \"words_per_sec_jobsN\": %.6g,\n"
+                         "        \"speedup\": %.4g,\n"
+                         "        \"dec_word_sum_sink\": %llu\n      }%s\n",
+                         r.key.c_str(), r.j1_words_per_sec,
+                         r.jn_words_per_sec, r.speedup,
+                         static_cast<unsigned long long>(r.sink),
+                         i + 1 < pardec.size() ? "," : "");
+        }
         std::fprintf(f, "    }\n  }\n");
     }
     std::fprintf(f, "}\n");
@@ -509,6 +682,7 @@ main(int argc, char **argv)
     std::string bench_path;
     int reps = 5;
     unsigned encode_jobs = 1;
+    unsigned decode_jobs = 1;
     std::vector<char *> rest{argv[0]};
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -521,11 +695,14 @@ main(int argc, char **argv)
         else if (a.rfind("--encode-jobs=", 0) == 0)
             encode_jobs = static_cast<unsigned>(
                 std::max(1, std::atoi(a.c_str() + 14)));
+        else if (a.rfind("--decode-jobs=", 0) == 0)
+            decode_jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(a.c_str() + 14)));
         else
             rest.push_back(argv[i]);
     }
     if (!bench_path.empty())
-        return bench_out::run(bench_path, reps, encode_jobs);
+        return bench_out::run(bench_path, reps, encode_jobs, decode_jobs);
 
     int rest_argc = static_cast<int>(rest.size());
     benchmark::Initialize(&rest_argc, rest.data());

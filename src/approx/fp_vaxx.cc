@@ -73,16 +73,7 @@ FpVaxxCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
     noteDecoded(enc.wordCount());
     noteBlockDecoded();
     std::vector<Word> ws;
-    ws.reserve(enc.wordCount());
-    for (const auto &w : enc.words()) {
-        Word v = w.uncompressed
-                     ? w.payload
-                     : fpc_decode(static_cast<FpcPattern>(w.kind), w.payload);
-        if (v != w.decoded)
-            noteMismatch();
-        for (unsigned r = 0; r < w.run; ++r)
-            ws.push_back(v);
-    }
+    noteMismatches(fpc_decode_block(enc, ws));
     return DataBlock(std::move(ws), enc.type(), enc.approximable());
 }
 

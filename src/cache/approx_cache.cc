@@ -227,11 +227,12 @@ ApproxCacheSystem::fill(unsigned core, Line &way, std::size_t line_idx)
     if (codec_ && home != core_node) {
         // encode+decode back to back on one thread: fills are free to
         // use any (home, core) pair because the cache never overlaps
-        // codec calls. A parallel fill path would have to shard
-        // encodes by home node and serialize the decodes — the
-        // CodecSystem flow-isolation contract (compression/codec.h).
+        // codec calls. A parallel fill path would shard encodes by
+        // home node and decodes by core node, phase-separated — the
+        // CodecSystem isolation contracts (compression/codec.h);
+        // harness::ShardedCodecPipeline packages exactly that.
         EncodedBlock enc = codec_->encodeBlock(precise, home, core_node, time_);
-        DataBlock delivered = codec_->decode(enc, home, core_node, time_);
+        DataBlock delivered = codec_->decodeBlock(enc, home, core_node, time_);
         unsigned flits = 1 + static_cast<unsigned>((enc.bits() + 63) / 64);
         penalty += static_cast<Cycle>(flits) * cfg_.per_flit_cycles +
                    codec_->compressionLatency() +

@@ -22,7 +22,7 @@
 
 namespace approxnoc {
 
-/** Relaxed-atomic monotonic counter, copyable by value. */
+/** Relaxed-atomic commutative counter, copyable by value. */
 class RelaxedCounter
 {
   public:
@@ -49,6 +49,19 @@ class RelaxedCounter
     add(std::uint64_t n = 1)
     {
         v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /**
+     * Decrement, for counters that gate work rather than accumulate
+     * totals (e.g. the dictionary codecs' pending-update occupancy).
+     * Increments and decrements still commute, so the value is
+     * interleaving-independent; the caller must never let concurrent
+     * subs outrun the adds.
+     */
+    void
+    sub(std::uint64_t n = 1)
+    {
+        v_.fetch_sub(n, std::memory_order_relaxed);
     }
 
     RelaxedCounter &

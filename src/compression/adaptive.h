@@ -46,6 +46,15 @@ class AdaptiveCodec : public CodecSystem
                              Cycle now) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
+    /** Batched path: the wrapper adds no decode-side state, so this
+     * forwards straight to the inner codec's batched decodeBlock —
+     * raw-bypassed blocks decode as all-uncompressed words there. */
+    DataBlock
+    decodeBlock(const EncodedBlock &enc, NodeId src, NodeId dst,
+                Cycle now) override
+    {
+        return inner_->decodeBlock(enc, src, dst, now);
+    }
 
     Cycle
     compressionLatency() const override
@@ -58,10 +67,23 @@ class AdaptiveCodec : public CodecSystem
         return inner_->decompressionLatency();
     }
     std::vector<Notification>
+    drainNotifications(NodeId dst) override
+    {
+        return inner_->drainNotifications(dst);
+    }
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    /** @deprecated Forwards the deprecated global drain (see codec.h). */
+    std::vector<Notification>
     drainNotifications() override
     {
         return inner_->drainNotifications();
     }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
     CodecActivity activity() const override { return inner_->activity(); }
     std::uint64_t
     consistencyMismatches() const override

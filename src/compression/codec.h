@@ -74,14 +74,43 @@ struct CodecCounters {
  * relaxed-atomic counters (word counts, AVCL activations, telemetry
  * CodecCounters), so totals are independent of thread interleaving.
  *
- * Callers must still serialize (a) all encodes of any one source
+ * Callers must still serialize all encodes of any one source
  * endpoint, in submission order — same-src blocks contend on that
  * encoder's replacement state and update FIFO even when their @p dst
- * differ — and (b) every decode() against everything, since decoding
- * mutates per-destination learning state shared across senders and
- * the global notification queue. harness/FlowShardedEncoder enforces
- * exactly this partitioning and is the supported way to encode a
- * batch of independent blocks in parallel.
+ * differ. harness/FlowShardedEncoder enforces exactly this
+ * partitioning and is the supported way to encode a batch of
+ * independent blocks in parallel.
+ *
+ * ## Destination-isolation contract (parallel decoding)
+ *
+ * Decoder-side mutable state is keyed by the *destination* endpoint,
+ * mirroring the encoder contract above: the dictionary schemes keep
+ * one decoder PMT, candidate tracker, stale-mapping table and
+ * notification queue per destination node, and the stateless schemes
+ * no per-call decode state at all. decode()/decodeBlock() calls for
+ * distinct @p dst therefore never share mutable decoder state and may
+ * run concurrently. The cross-destination state a decode touches is
+ *  - commutative relaxed-atomic counters (word/mismatch totals,
+ *    telemetry CodecCounters), interleaving-independent by
+ *    construction, and
+ *  - the per-(encoder, decoder) pending-update channels: a decode at
+ *    @p dst appends only to channels owned by @p dst, and the encoder
+ *    side merges channels in a deterministic order independent of the
+ *    thread interleaving that filled them.
+ *
+ * Callers must (a) serialize all decodes of any one destination
+ * endpoint, in submission order — same-dst blocks contend on that
+ * decoder's learning state even when their @p src differ — and
+ * (b) phase-separate encodes from decodes: an encode drains the
+ * pending-update channels decodes append to, so the two sides may
+ * each run sharded internally but must not overlap in time.
+ * harness/FlowShardedDecoder enforces the decode partitioning;
+ * harness/ShardedCodecPipeline enforces the phasing for a full
+ * encode -> wire -> decode batch.
+ *
+ * Every notification a decoder emits carries a per-destination
+ * monotonic sequence number, so drainNotifications(dst) streams are
+ * reproducible at any decode job count.
  */
 class CodecSystem
 {
@@ -118,9 +147,28 @@ class CodecSystem
         return encode(block, src, dst, now);
     }
 
-    /** Decode @p enc at node @p dst, received from @p src. */
+    /**
+     * Decode @p enc at node @p dst, received from @p src. Kept as the
+     * executable specification of the decoder: the batched
+     * decodeBlock() must reconstruct a bit-identical DataBlock.
+     */
     virtual DataBlock decode(const EncodedBlock &enc, NodeId src,
                              NodeId dst, Cycle now) = 0;
+
+    /**
+     * Block-batched decode: the fast path every consumer (NI, cache,
+     * harness, benches) routes through, mirroring encodeBlock().
+     * Semantically identical to decode() — same words, same learning
+     * and notification side effects — but schemes override it to
+     * hoist decoder-state lookup and per-block bookkeeping out of the
+     * word loop. The default forwards to decode() for schemes whose
+     * decode is already block-level.
+     */
+    virtual DataBlock
+    decodeBlock(const EncodedBlock &enc, NodeId src, NodeId dst, Cycle now)
+    {
+        return decode(enc, src, dst, now);
+    }
 
     /** Cycles the encoder adds before the first body flit is ready. */
     virtual Cycle compressionLatency() const { return kCompressionLatency; }
@@ -136,12 +184,42 @@ class CodecSystem
     struct Notification {
         NodeId from; ///< decoder node emitting the notification
         NodeId to;   ///< encoder node it updates
+        /**
+         * Per-destination monotonic sequence number: the n-th
+         * notification decoder @c from ever emitted. Strictly
+         * increasing within one drainNotifications(dst) stream (and
+         * across successive drains of the same @c dst), independent
+         * of the decode job count — the ordering witness of the
+         * destination-isolation contract.
+         */
+        std::uint64_t seq = 0;
     };
 
     /**
      * Dictionary schemes: the update/invalidate notifications emitted
-     * since the last call. Stateless schemes return an empty list.
+     * by decoder @p dst since the last drain of @p dst, in @c seq
+     * order. Stateless schemes return an empty list. Safe to call
+     * concurrently for distinct @p dst (it touches only that
+     * decoder's queue), but not concurrently with decodes of @p dst.
      */
+    virtual std::vector<Notification>
+    drainNotifications(NodeId dst)
+    {
+        (void)dst;
+        return {};
+    }
+
+    /**
+     * @deprecated Global drain, superseded by the per-destination
+     * overload above. Returns every queued notification grouped by
+     * destination (ascending node id), each group in @c seq order —
+     * NOT the historical cross-destination emission order, which no
+     * longer exists under sharded decode. Shimmed for one PR; migrate
+     * to drainNotifications(dst).
+     */
+    [[deprecated("use drainNotifications(NodeId dst); the global queue "
+                 "is gone — this shim drains every destination in node "
+                 "order")]]
     virtual std::vector<Notification> drainNotifications() { return {}; }
 
     /**
@@ -175,6 +253,9 @@ class CodecSystem
   protected:
     /** Bump the consistency-mismatch counter (decoders call this). */
     void noteMismatch() { ++mismatches_; }
+
+    /** Batched mismatch record (the block-level decode helpers). */
+    void noteMismatches(std::uint64_t n) { mismatches_ += n; }
 
     /** Word-count bookkeeping, called by every encode()/decode(). */
     void noteEncoded(std::uint64_t n) { words_encoded_ += n; }
@@ -210,10 +291,11 @@ class CodecSystem
     std::uint64_t wordsDecoded() const { return words_decoded_; }
 
   private:
-    /** Relaxed-atomic: encode-side bookkeeping shared by every source
-     * endpoint. Sums commute, so parallel per-flow encode shards
-     * produce the same totals as a serial run (see the flow-isolation
-     * contract above). */
+    /** Relaxed-atomic: bookkeeping shared by every source (encode
+     * side) and every destination (decode side). Sums commute, so
+     * parallel per-flow encode shards and per-destination decode
+     * shards produce the same totals as a serial run (see the
+     * isolation contracts above). */
     RelaxedCounter mismatches_;
     RelaxedCounter words_encoded_;
     RelaxedCounter words_decoded_;

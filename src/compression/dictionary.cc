@@ -25,7 +25,9 @@ DictionaryCodecBase::DictionaryCodecBase(const DictionaryConfig &cfg)
     decoders_.reserve(cfg.n_nodes);
     for (std::size_t i = 0; i < cfg.n_nodes; ++i)
         decoders_.emplace_back(cfg);
-    pending_.resize(cfg.n_nodes);
+    pending_.assign(cfg.n_nodes,
+                    std::vector<std::deque<Update>>(cfg.n_nodes));
+    pending_count_.assign(cfg.n_nodes, RelaxedCounter{});
 
     if (cfg_.preload_zero) {
         for (auto &d : decoders_) {
@@ -105,12 +107,29 @@ DictionaryCodecBase::decode(const EncodedBlock &enc, NodeId src, NodeId dst,
 {
     ANOC_ASSERT(src < cfg_.n_nodes && dst < cfg_.n_nodes,
                 "node id out of range in dictionary decode");
-    DecoderState &d = decoders_[dst];
     noteDecoded(enc.wordCount());
     noteBlockDecoded();
     std::vector<Word> ws;
     ws.reserve(enc.wordCount());
+    decodeSpan(enc, src, dst, now, ws);
+    return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
 
+DataBlock
+DictionaryCodecBase::decodeBlock(const EncodedBlock &enc, NodeId src,
+                                 NodeId dst, Cycle now)
+{
+    // decode() is already block-grained for the dictionary schemes;
+    // both entry points share decodeSpan, so the batched path is the
+    // spec path by construction (the decoder-side encodeOne pattern).
+    return decode(enc, src, dst, now);
+}
+
+void
+DictionaryCodecBase::decodeSpan(const EncodedBlock &enc, NodeId src,
+                                NodeId dst, Cycle now, std::vector<Word> &out)
+{
+    DecoderState &d = decoders_[dst];
     for (const auto &w : enc.words()) {
         Word v;
         if (w.kind == static_cast<std::uint8_t>(DiWordKind::Compressed)) {
@@ -148,9 +167,8 @@ DictionaryCodecBase::decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                 noteMismatch();
         }
         for (unsigned r = 0; r < w.run; ++r)
-            ws.push_back(v);
+            out.push_back(v);
     }
-    return DataBlock(std::move(ws), enc.type(), enc.approximable());
 }
 
 void
@@ -217,26 +235,68 @@ void
 DictionaryCodecBase::send(NodeId enc, Update u, Cycle now)
 {
     (void)now;
-    pending_[enc].push_back(u);
-    notify_queue_.push_back(Notification{u.decoder, enc});
+    // Destination isolation: everything here is either owned by the
+    // sending decoder (its channel towards enc, its notification
+    // queue and sequence) or a commutative relaxed counter.
+    DecoderState &d = decoders_[u.decoder];
+    pending_[enc][u.decoder].push_back(u);
+    pending_count_[enc].add(1);
+    d.notify_queue.push_back(Notification{u.decoder, enc, d.next_seq++});
     ++notifications_sent_;
 }
 
 void
 DictionaryCodecBase::applyPending(NodeId enc, Cycle now)
 {
-    auto &q = pending_[enc];
-    while (!q.empty() && q.front().apply <= now) {
-        applyUpdateAtEncoder(enc, q.front());
-        q.pop_front();
+    if (pending_count_[enc].load() == 0)
+        return;
+    auto &chans = pending_[enc];
+    for (;;) {
+        // Earliest due update across channels; ties on the apply
+        // cycle break to the lowest decoder id. Each channel stays
+        // FIFO, so a channel whose head is in the future contributes
+        // nothing this round even if later entries are due — the
+        // per-(decoder, encoder) ordering the consistency protocol
+        // needs (an invalidation always precedes the reuse of its
+        // index).
+        std::size_t best = chans.size();
+        for (std::size_t d = 0; d < chans.size(); ++d) {
+            if (chans[d].empty() || chans[d].front().apply > now)
+                continue;
+            if (best == chans.size() ||
+                chans[d].front().apply < chans[best].front().apply)
+                best = d;
+        }
+        if (best == chans.size())
+            break;
+        Update u = chans[best].front();
+        chans[best].pop_front();
+        pending_count_[enc].sub(1);
+        applyUpdateAtEncoder(enc, u);
     }
+}
+
+std::vector<CodecSystem::Notification>
+DictionaryCodecBase::drainNotifications(NodeId dst)
+{
+    ANOC_ASSERT(dst < cfg_.n_nodes, "node id out of range in drain");
+    std::vector<Notification> out;
+    out.swap(decoders_[dst].notify_queue);
+    return out;
 }
 
 std::vector<CodecSystem::Notification>
 DictionaryCodecBase::drainNotifications()
 {
+    // Deprecated shim: every destination in node order, each in seq
+    // order. The historical cross-destination emission order is gone
+    // — it was an artifact of the global queue serialized decode
+    // implied.
     std::vector<Notification> out;
-    out.swap(notify_queue_);
+    for (NodeId d = 0; d < cfg_.n_nodes; ++d) {
+        auto q = drainNotifications(d);
+        out.insert(out.end(), q.begin(), q.end());
+    }
     return out;
 }
 

@@ -68,15 +68,19 @@ enum class DiWordKind : std::uint8_t {
  * update channel, eviction/invalidation bookkeeping and the decode
  * path. Subclasses own the encoder-side structures.
  *
- * State isolation (the CodecSystem flow-isolation contract, which the
- * parallel encode path in harness/FlowShardedEncoder relies on):
+ * State isolation (the CodecSystem flow-isolation and
+ * destination-isolation contracts, which the parallel paths in
+ * harness/FlowShardedEncoder and harness/FlowShardedDecoder rely on):
  * encode()/encodeBlock() for source s touches only the subclass's
  * encoders_[s] (PMT, replacement metadata, per-destination index
- * views) and pending_[s] (the update FIFO applyPending drains) plus
- * relaxed-atomic counters — never decoders_, notify_queue_ or another
- * source's tables. decode() is the opposite: it mutates decoders_[dst]
- * (shared across senders), the notification queue and, via send(),
- * any encoder's pending FIFO, so decodes must stay serialized.
+ * views) and pending_[s] (the update channels applyPending merges)
+ * plus relaxed-atomic counters — never decoders_ or another source's
+ * tables. decode()/decodeBlock() for destination d touches only
+ * decoders_[d] (PMT, tracker, stale mappings, notification queue and
+ * sequence) and, via send(), the pending_[*][d] channels d alone
+ * owns, plus relaxed-atomic counters — never another destination's
+ * decoder state. Encodes and decodes must not overlap in time: the
+ * encoder side drains the very channels the decoder side fills.
  */
 class DictionaryCodecBase : public CodecSystem
 {
@@ -89,7 +93,13 @@ class DictionaryCodecBase : public CodecSystem
                              Cycle now) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
+    DataBlock decodeBlock(const EncodedBlock &enc, NodeId src, NodeId dst,
+                          Cycle now) override;
 
+    std::vector<Notification> drainNotifications(NodeId dst) override;
+
+    /** @deprecated Shim: drains every destination in node order. */
+    [[deprecated("use drainNotifications(NodeId dst)")]]
     std::vector<Notification> drainNotifications() override;
 
     std::uint8_t
@@ -146,10 +156,29 @@ class DictionaryCodecBase : public CodecSystem
     virtual void encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
                             EncodedBlock &out);
 
+    /**
+     * Batched inner loop behind decodeBlock(): append the decoded
+     * words of @p enc to @p out, with the destination's DecoderState
+     * and per-block predicates hoisted. decode() routes through the
+     * same code, so the spec and batched paths are trivially
+     * bit-identical (the encodeOne pattern, decoder side).
+     */
+    virtual void decodeSpan(const EncodedBlock &enc, NodeId src, NodeId dst,
+                            Cycle now, std::vector<Word> &out);
+
     /** Apply one due notification to encoder @p enc's tables. */
     virtual void applyUpdateAtEncoder(NodeId enc, const Update &u) = 0;
 
-    /** Apply every notification due at @p now for encoder @p enc. */
+    /**
+     * Apply every notification due at @p now for encoder @p enc,
+     * merging the per-(encoder, decoder) channels in a deterministic
+     * order: ascending (apply cycle, decoder id), each channel
+     * consumed in FIFO (= per-destination sequence) order, and a
+     * channel whose head is not yet due blocks only itself. The merge
+     * is a pure function of the channel contents, which are each
+     * owned by one destination — so the encoder sees the same update
+     * sequence at any decode job count.
+     */
     void applyPending(NodeId enc, Cycle now);
 
     /**
@@ -194,14 +223,34 @@ class DictionaryCodecBase : public CodecSystem
         /** Last cycle this decoder sent an update (rate limiting). */
         Cycle last_notify = 0;
         bool ever_notified = false;
+        /** Notifications queued since the last drain of this node. */
+        std::vector<Notification> notify_queue;
+        /** Next per-destination notification sequence number. */
+        std::uint64_t next_seq = 0;
 
         DecoderState(const DictionaryConfig &cfg);
     };
 
     std::vector<DecoderState> decoders_;
-    std::vector<std::deque<Update>> pending_; ///< per-encoder FIFO
-    std::vector<Notification> notify_queue_;
-    std::uint64_t notifications_sent_ = 0;
+    /**
+     * Pending update channels, [encoder][decoder]: the update FIFO
+     * from one decoder towards one encoder. Splitting the historical
+     * per-encoder FIFO by decoder is what makes parallel decode
+     * deterministic — each channel is written by exactly one
+     * destination shard, and applyPending merges them in a
+     * deterministic order (see above).
+     */
+    std::vector<std::vector<std::deque<Update>>> pending_;
+    /**
+     * Relaxed-atomic occupancy gate per encoder: total updates queued
+     * across that encoder's channels, so the per-block applyPending
+     * call skips the channel scan when nothing is in flight.
+     * Commutative (adds from decoder shards, subs from the encoder),
+     * so the gate never diverges from the channel contents between
+     * phases.
+     */
+    std::vector<RelaxedCounter> pending_count_;
+    RelaxedCounter notifications_sent_;
 };
 
 /**

@@ -71,6 +71,17 @@ std::optional<FpcMatch> fpc_match(Word w, unsigned k = 0);
 Word fpc_decode(FpcPattern p, std::uint32_t payload);
 
 /**
+ * Stateless block-level FPC decode shared by FpcCodec, FpVaxxCodec and
+ * WindowVaxxCodec (the paper: approximation is encoder-only, so their
+ * NRs decode identically). Appends the reconstructed words to @p out,
+ * expanding zero runs. Returns the count of decoder-vs-encoder
+ * expectation mismatches so the caller can record them once per block
+ * (CodecSystem::noteMismatches) instead of per word.
+ */
+std::uint64_t fpc_decode_block(const EncodedBlock &enc,
+                               std::vector<Word> &out);
+
+/**
  * The FP-COMP codec: stateless per-word FPC with block-level zero-run
  * merging. Shared by every node (the pattern table is static).
  */

@@ -1,87 +1,13 @@
 /**
  * @file
- * Intra-sweep parallel block encoding. A sweep point often holds a
- * large batch of pending blocks whose flows are independent — the
- * APPROX-NoC dictionaries are keyed by endpoint, so blocks from
- * different source nodes never share mutable encoder state (the
- * CodecSystem flow-isolation contract, compression/codec.h). This
- * encoder exploits that: it partitions a batch by encoder endpoint,
- * encodes the shards concurrently on the work-stealing
- * ExperimentRunner pool, and writes every result at its submission
- * index.
- *
- * Determinism contract: output, stats and telemetry are byte-identical
- * at any job count.
- *  - Each shard owns every request of one source endpoint, in
- *    submission order — exactly the subsequence the serial path would
- *    feed that encoder's tables, so per-source state (PMT contents,
- *    replacement metadata, pending-update application) evolves
- *    identically.
- *  - Flows sharing a source are co-located in one shard: same-src
- *    blocks contend on that encoder's CAM/TCAM touch state and update
- *    FIFO even when their destinations differ, so one flow's blocks
- *    are never encoded concurrently with each other or with any flow
- *    sharing its encoder.
- *  - Cross-shard state is limited to relaxed-atomic commutative
- *    counters, whose totals are interleaving-independent.
- *  - Results land at their request index, so the merged stream never
- *    depends on completion order.
+ * Compatibility alias. FlowShardedEncoder moved to
+ * harness/sharded_codec_pipeline.h when parallel decoding landed and
+ * the two directions were unified under ShardedCodecPipeline; include
+ * that header directly in new code.
  */
 #ifndef APPROXNOC_HARNESS_FLOW_SHARDED_ENCODER_H
 #define APPROXNOC_HARNESS_FLOW_SHARDED_ENCODER_H
 
-#include <cstddef>
-#include <vector>
-
-#include "common/data_block.h"
-#include "common/types.h"
-#include "compression/codec.h"
-#include "compression/encoded.h"
-#include "harness/runner.h"
-
-namespace approxnoc::harness {
-
-/** One pending block encode: @c *block headed @c src -> @c dst at
- * cycle @c now. The block is borrowed; it must outlive encodeAll(). */
-struct EncodeRequest {
-    const DataBlock *block = nullptr;
-    NodeId src = 0;
-    NodeId dst = 0;
-    Cycle now = 0;
-};
-
-/**
- * Encodes batches of independent blocks through one shared
- * CodecSystem, sharded by source endpoint. `jobs == 1` (the default)
- * runs the serial reference path inline; `jobs == 0` selects the
- * hardware concurrency.
- */
-class FlowShardedEncoder
-{
-  public:
-    explicit FlowShardedEncoder(CodecSystem &codec, unsigned jobs = 1);
-
-    /** Worker count after resolving 0 -> hardware concurrency. */
-    unsigned jobs() const { return runner_.jobs(); }
-
-    /**
-     * Encode every request through CodecSystem::encodeBlock and return
-     * the encoded blocks in submission order. Throws std::runtime_error
-     * (first failing shard, lowest source first) if any encode throws;
-     * the remaining shards still run to completion.
-     */
-    std::vector<EncodedBlock> encodeAll(const std::vector<EncodeRequest> &reqs);
-
-    /** Distinct encoder endpoints in the last encodeAll() batch — the
-     * available parallelism (shards are the unit of scheduling). */
-    std::size_t lastShardCount() const { return last_shards_; }
-
-  private:
-    CodecSystem &codec_;
-    ExperimentRunner runner_;
-    std::size_t last_shards_ = 0;
-};
-
-} // namespace approxnoc::harness
+#include "harness/sharded_codec_pipeline.h"
 
 #endif // APPROXNOC_HARNESS_FLOW_SHARDED_ENCODER_H

@@ -1,0 +1,123 @@
+#include "harness/sharded_codec_pipeline.h"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace approxnoc::harness {
+namespace {
+
+/**
+ * The shared shard-map / submission-index-merge / first-failing-shard
+ * machinery both directions run on. Partitions @p reqs by @p key
+ * (preserving submission order inside each shard, enumerating shards
+ * in first-appearance order so the partition itself is deterministic),
+ * applies @p op to every request — inline on the calling thread for
+ * the serial reference path (jobs <= 1 or a single shard), else one
+ * runner job per shard — and writes each result at its request index.
+ * Throws std::runtime_error naming the lowest-index failing shard's
+ * endpoint; the remaining shards still run to completion.
+ */
+template <typename Req, typename Out, typename KeyFn, typename OpFn>
+std::vector<Out>
+shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
+            std::size_t &last_shards, const char *what, const char *key_name,
+            KeyFn key, OpFn op)
+{
+    std::vector<Out> out(reqs.size());
+
+    std::vector<std::vector<std::size_t>> shards;
+    std::unordered_map<NodeId, std::size_t> shard_of_key;
+    shards.reserve(16);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        auto [it, fresh] = shard_of_key.try_emplace(key(reqs[i]), shards.size());
+        if (fresh)
+            shards.emplace_back();
+        shards[it->second].push_back(i);
+    }
+    last_shards = shards.size();
+
+    // The serial reference path: one thread, submission order. This is
+    // the executable specification the sharded path must match
+    // byte-for-byte (tests/test_parallel_encode.cc and
+    // tests/test_parallel_decode.cc pin it down).
+    if (runner.jobs() <= 1 || shards.size() <= 1) {
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+            out[i] = op(reqs[i]);
+        return out;
+    }
+
+    auto statuses = runner.run(shards.size(), [&](std::size_t s) {
+        for (std::size_t i : shards[s])
+            out[i] = op(reqs[i]);
+    });
+    for (std::size_t s = 0; s < statuses.size(); ++s) {
+        if (!statuses[s].ok)
+            throw std::runtime_error(
+                std::string(what) + " failed (" + key_name + " " +
+                std::to_string(key(reqs[shards[s].front()])) +
+                "): " + statuses[s].error);
+    }
+    return out;
+}
+
+} // namespace
+
+FlowShardedEncoder::FlowShardedEncoder(CodecSystem &codec, unsigned jobs)
+    : codec_(codec), runner_(jobs)
+{}
+
+std::vector<EncodedBlock>
+FlowShardedEncoder::encodeAll(const std::vector<EncodeRequest> &reqs)
+{
+    return shard_apply<EncodeRequest, EncodedBlock>(
+        reqs, runner_, last_shards_, "flow-sharded encode", "src",
+        [](const EncodeRequest &r) {
+            ANOC_ASSERT(r.block != nullptr, "encode request without a block");
+            return r.src;
+        },
+        [this](const EncodeRequest &r) {
+            return codec_.encodeBlock(*r.block, r.src, r.dst, r.now);
+        });
+}
+
+FlowShardedDecoder::FlowShardedDecoder(CodecSystem &codec, unsigned jobs)
+    : codec_(codec), runner_(jobs)
+{}
+
+std::vector<DataBlock>
+FlowShardedDecoder::decodeAll(const std::vector<DecodeRequest> &reqs)
+{
+    return shard_apply<DecodeRequest, DataBlock>(
+        reqs, runner_, last_shards_, "flow-sharded decode", "dst",
+        [](const DecodeRequest &r) {
+            ANOC_ASSERT(r.enc != nullptr, "decode request without a block");
+            return r.dst;
+        },
+        [this](const DecodeRequest &r) {
+            return codec_.decodeBlock(*r.enc, r.src, r.dst, r.now);
+        });
+}
+
+ShardedCodecPipeline::RoundTripResult
+ShardedCodecPipeline::roundTrip(const std::vector<EncodeRequest> &reqs,
+                                Cycle decode_delay)
+{
+    RoundTripResult rt;
+    rt.encoded = encoder_.encodeAll(reqs);
+
+    // Phase barrier: every encode above has retired before any decode
+    // below starts, so the decodes' appends to the pending-update
+    // channels never race an encoder draining them.
+    std::vector<DecodeRequest> dec;
+    dec.reserve(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        dec.push_back(DecodeRequest{&rt.encoded[i], reqs[i].src, reqs[i].dst,
+                                    reqs[i].now + decode_delay});
+    rt.decoded = decoder_.decodeAll(dec);
+    return rt;
+}
+
+} // namespace approxnoc::harness

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Intra-sweep parallel block coding, both directions. A sweep point
+ * often holds a large batch of pending blocks whose flows are
+ * independent — the APPROX-NoC dictionaries are keyed by endpoint, so
+ * blocks from different source nodes never share mutable encoder
+ * state and blocks for different destination nodes never share mutable
+ * decoder state (the flow-isolation and destination-isolation
+ * contracts, compression/codec.h). The classes here exploit that:
+ * FlowShardedEncoder partitions a batch by source endpoint,
+ * FlowShardedDecoder by destination endpoint, each runs its shards
+ * concurrently on the work-stealing ExperimentRunner pool and writes
+ * every result at its submission index. ShardedCodecPipeline fronts
+ * both with one shard-map/jobs/merge/error discipline and enforces the
+ * encode/decode phase separation the decode contract requires.
+ *
+ * Determinism contract: output, stats, telemetry and notification
+ * streams are byte-identical at any job count.
+ *  - Each shard owns every request of one endpoint (src for encode,
+ *    dst for decode), in submission order — exactly the subsequence
+ *    the serial path would feed that endpoint's tables, so per-endpoint
+ *    state (PMT contents, replacement metadata, candidate trackers,
+ *    notification sequence numbers) evolves identically.
+ *  - Requests sharing the endpoint are co-located in one shard, so
+ *    none of them ever run concurrently with each other.
+ *  - Cross-shard state is limited to relaxed-atomic commutative
+ *    counters and (decode side) the per-(encoder, decoder) pending
+ *    channels, which the encoder merges in an interleaving-independent
+ *    order.
+ *  - Results land at their request index, so the merged stream never
+ *    depends on completion order.
+ */
+#ifndef APPROXNOC_HARNESS_SHARDED_CODEC_PIPELINE_H
+#define APPROXNOC_HARNESS_SHARDED_CODEC_PIPELINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/data_block.h"
+#include "common/types.h"
+#include "compression/codec.h"
+#include "compression/encoded.h"
+#include "harness/runner.h"
+
+namespace approxnoc::harness {
+
+/** One pending block encode: @c *block headed @c src -> @c dst at
+ * cycle @c now. The block is borrowed; it must outlive encodeAll(). */
+struct EncodeRequest {
+    const DataBlock *block = nullptr;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Cycle now = 0;
+};
+
+/** One pending block decode: @c *enc from @c src arriving at @c dst at
+ * cycle @c now. The block is borrowed; it must outlive decodeAll(). */
+struct DecodeRequest {
+    const EncodedBlock *enc = nullptr;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Cycle now = 0;
+};
+
+/**
+ * Encodes batches of independent blocks through one shared
+ * CodecSystem, sharded by source endpoint. `jobs == 1` (the default)
+ * runs the serial reference path inline; `jobs == 0` selects the
+ * hardware concurrency.
+ */
+class FlowShardedEncoder
+{
+  public:
+    explicit FlowShardedEncoder(CodecSystem &codec, unsigned jobs = 1);
+
+    /** Worker count after resolving 0 -> hardware concurrency. */
+    unsigned jobs() const { return runner_.jobs(); }
+
+    /**
+     * Encode every request through CodecSystem::encodeBlock and return
+     * the encoded blocks in submission order. Throws std::runtime_error
+     * (first failing shard, lowest source first) if any encode throws;
+     * the remaining shards still run to completion.
+     */
+    std::vector<EncodedBlock> encodeAll(const std::vector<EncodeRequest> &reqs);
+
+    /** Distinct encoder endpoints in the last encodeAll() batch — the
+     * available parallelism (shards are the unit of scheduling). */
+    std::size_t lastShardCount() const { return last_shards_; }
+
+  private:
+    CodecSystem &codec_;
+    ExperimentRunner runner_;
+    std::size_t last_shards_ = 0;
+};
+
+/**
+ * Decodes batches of independent blocks through one shared
+ * CodecSystem, sharded by destination endpoint — the decode-side twin
+ * of FlowShardedEncoder. `jobs == 1` (the default) runs the serial
+ * reference path inline; `jobs == 0` selects the hardware concurrency.
+ *
+ * Callers own the phasing obligation of the destination-isolation
+ * contract: no encode of the same codec may overlap a decodeAll()
+ * call (ShardedCodecPipeline sequences the two for you).
+ */
+class FlowShardedDecoder
+{
+  public:
+    explicit FlowShardedDecoder(CodecSystem &codec, unsigned jobs = 1);
+
+    /** Worker count after resolving 0 -> hardware concurrency. */
+    unsigned jobs() const { return runner_.jobs(); }
+
+    /**
+     * Decode every request through CodecSystem::decodeBlock and return
+     * the data blocks in submission order. Throws std::runtime_error
+     * (first failing shard, lowest destination first) if any decode
+     * throws; the remaining shards still run to completion.
+     */
+    std::vector<DataBlock> decodeAll(const std::vector<DecodeRequest> &reqs);
+
+    /** Distinct decoder endpoints in the last decodeAll() batch. */
+    std::size_t lastShardCount() const { return last_shards_; }
+
+  private:
+    CodecSystem &codec_;
+    ExperimentRunner runner_;
+    std::size_t last_shards_ = 0;
+};
+
+/**
+ * The unified front-end: one encoder and one decoder over the same
+ * codec, sharing the jobs policy and the determinism discipline.
+ * encodeAll()/decodeAll() forward to the respective side; roundTrip()
+ * runs the full encode -> wire -> decode pipeline with the phase
+ * separation the decode contract requires (the decode phase starts
+ * only after every encode of the batch has retired).
+ */
+class ShardedCodecPipeline
+{
+  public:
+    /** Same worker count on both sides. */
+    explicit ShardedCodecPipeline(CodecSystem &codec, unsigned jobs = 1)
+        : ShardedCodecPipeline(codec, jobs, jobs)
+    {}
+
+    /** Split policy, e.g. encode serial while decode fans out. */
+    ShardedCodecPipeline(CodecSystem &codec, unsigned encode_jobs,
+                         unsigned decode_jobs)
+        : encoder_(codec, encode_jobs), decoder_(codec, decode_jobs)
+    {}
+
+    unsigned encodeJobs() const { return encoder_.jobs(); }
+    unsigned decodeJobs() const { return decoder_.jobs(); }
+
+    std::vector<EncodedBlock>
+    encodeAll(const std::vector<EncodeRequest> &reqs)
+    {
+        return encoder_.encodeAll(reqs);
+    }
+
+    std::vector<DataBlock>
+    decodeAll(const std::vector<DecodeRequest> &reqs)
+    {
+        return decoder_.decodeAll(reqs);
+    }
+
+    /** Both phases of one batch, submission-indexed. */
+    struct RoundTripResult {
+        std::vector<EncodedBlock> encoded;
+        std::vector<DataBlock> decoded;
+    };
+
+    /**
+     * Encode the batch, then decode every encoded block at its
+     * destination @c decode_delay cycles after its encode cycle
+     * (model the wire however the caller likes). The two phases are
+     * strictly sequenced — decodes only start once encodeAll() has
+     * returned — which is exactly the phasing obligation of the
+     * destination-isolation contract.
+     */
+    RoundTripResult roundTrip(const std::vector<EncodeRequest> &reqs,
+                              Cycle decode_delay = 0);
+
+    std::size_t lastEncodeShardCount() const
+    {
+        return encoder_.lastShardCount();
+    }
+    std::size_t lastDecodeShardCount() const
+    {
+        return decoder_.lastShardCount();
+    }
+
+    FlowShardedEncoder &encoder() { return encoder_; }
+    FlowShardedDecoder &decoder() { return decoder_; }
+
+  private:
+    FlowShardedEncoder encoder_;
+    FlowShardedDecoder decoder_;
+};
+
+} // namespace approxnoc::harness
+
+#endif // APPROXNOC_HARNESS_SHARDED_CODEC_PIPELINE_H

@@ -513,17 +513,18 @@ Network::evaluate(Cycle)
 void
 Network::advance(Cycle now)
 {
-    // Inject dictionary update notifications as control packets.
-    if (model_notifications_) {
-        for (const auto &n : codec_->drainNotifications()) {
-            if (n.from == n.to)
+    // Inject dictionary update notifications as control packets, one
+    // decoder endpoint at a time (the per-destination drain API; each
+    // stream arrives in seq order, so the injection order at any one
+    // NI matches the order its decoder emitted).
+    for (NodeId d = 0; d < static_cast<NodeId>(nis_.size()); ++d) {
+        for (const auto &n : codec_->drainNotifications(d)) {
+            if (!model_notifications_ || n.from == n.to)
                 continue;
             auto p = makeControlPacket(n.from, n.to);
             stats_.notification_packets.inc();
             nis_[n.from]->enqueue(p, now);
         }
-    } else {
-        codec_->drainNotifications();
     }
 
     // Deadlock watchdog: flits buffered but nothing moved for a while.

@@ -133,7 +133,13 @@ NetworkInterface::acceptEjectedFlit(const Flit &f, Cycle now)
                          "{\"pkt\": " + std::to_string(pkt->id) +
                              ", \"src\": " + std::to_string(pkt->src) + "}");
     if (pkt->carries_block) {
-        pkt->delivered = codec_->decode(pkt->enc, pkt->src, pkt->dst, now);
+        // This NI is the decode endpoint, so the batched decode runs
+        // under the destination-isolation contract: only node id_'s
+        // decoder state (plus commutative counters and id_'s pending
+        // channels) is touched.
+        ANOC_ASSERT(pkt->dst == id_,
+                    "decode at a foreign NI violates destination isolation");
+        pkt->delivered = codec_->decodeBlock(pkt->enc, pkt->src, pkt->dst, now);
         pkt->decode_done = now + codec_->decompressionLatency();
     } else {
         pkt->decode_done = now;

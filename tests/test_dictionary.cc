@@ -182,17 +182,52 @@ TEST(DiComp, EvictionInvalidatesAndStaysConsistent)
     EXPECT_EQ(c.consistencyMismatches(), 0u);
 }
 
-TEST(DiComp, NotificationsAreDrainable)
+TEST(DiComp, NotificationsAreDrainablePerDestination)
 {
     DiCompCodec c(small_config());
     DataBlock b = block_of({0x99});
     roundtrip(c, b, 0, 1, 0);
     roundtrip(c, b, 0, 1, 1);
-    auto notes = c.drainNotifications();
+    EXPECT_TRUE(c.drainNotifications(0).empty())
+        << "node 0 decoded nothing";
+    auto notes = c.drainNotifications(1);
     ASSERT_EQ(notes.size(), 1u);
     EXPECT_EQ(notes[0].from, 1u); // decoder
     EXPECT_EQ(notes[0].to, 0u);   // encoder
+    EXPECT_EQ(notes[0].seq, 0u);  // the first notification node 1 emitted
+    EXPECT_TRUE(c.drainNotifications(1).empty());
+
+    // seq keeps counting across drains of the same destination.
+    roundtrip(c, block_of({0x7777}), 0, 1, 100);
+    roundtrip(c, block_of({0x7777}), 0, 1, 200);
+    auto more = c.drainNotifications(1);
+    ASSERT_EQ(more.size(), 1u);
+    EXPECT_EQ(more[0].seq, 1u);
+}
+
+TEST(DiComp, DeprecatedGlobalDrainCoversEveryDestination)
+{
+    DiCompCodec c(small_config());
+    DataBlock b = block_of({0x99});
+    roundtrip(c, b, 0, 1, 0);
+    roundtrip(c, b, 0, 1, 1);
+    roundtrip(c, b, 1, 2, 0);
+    roundtrip(c, b, 1, 2, 1);
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    auto notes = c.drainNotifications();
+    ASSERT_EQ(notes.size(), 2u);
+    // Grouped by destination in ascending node order.
+    EXPECT_EQ(notes[0].from, 1u);
+    EXPECT_EQ(notes[0].to, 0u);
+    EXPECT_EQ(notes[1].from, 2u);
+    EXPECT_EQ(notes[1].to, 1u);
     EXPECT_TRUE(c.drainNotifications().empty());
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 }
 
 TEST(DiComp, EncoderTablesPerNodeAreIndependent)

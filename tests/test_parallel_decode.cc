@@ -1,0 +1,598 @@
+/**
+ * The executable specification of destination-sharded parallel block
+ * decoding (harness/sharded_codec_pipeline.h), mirroring
+ * test_parallel_encode.cc: the serial jobs=1 path *is* the spec, and
+ * the concurrent path must match it byte for byte.
+ *
+ *  - randomized multi-flow workloads decoded on identically trained
+ *    twin codecs (decode mutates learning state, so one instance
+ *    cannot serve both job counts): bit-identical DataBlocks,
+ *    identical merged stats, identical per-destination notification
+ *    streams (including sequence numbers) for jobs=1 vs jobs=N, for
+ *    every scheme including the adaptive wrapper, plus probe waves
+ *    proving the encoder- and decoder-side state the two runs left
+ *    behind is indistinguishable;
+ *  - full encode -> wire -> decode round trips through
+ *    ShardedCodecPipeline at split job counts;
+ *  - an adversarial same-destination interleaving test with an
+ *    instrumented codec proving blocks that share a decoder endpoint
+ *    are never decoded concurrently and always arrive in submission
+ *    order;
+ *  - failure propagation and the auto-jobs path.
+ *
+ * The whole file is run under -fsanitize=thread in the CI
+ * tsan-concurrency job, which turns any violation of the
+ * destination-isolation contract (compression/codec.h) into a hard
+ * failure.
+ */
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compression/adaptive.h"
+#include "core/codec_factory.h"
+#include "harness/sharded_codec_pipeline.h"
+
+using namespace approxnoc;
+using harness::DecodeRequest;
+using harness::EncodeRequest;
+using harness::FlowShardedDecoder;
+using harness::FlowShardedEncoder;
+using harness::ShardedCodecPipeline;
+
+namespace {
+
+constexpr std::size_t kFlows = 6;
+constexpr std::size_t kNodes = 2 * kFlows; ///< srcs 0..F-1, dsts F..2F-1
+
+/** Value-local multi-flow workload: hot values + near-misses + noise. */
+std::vector<DataBlock>
+make_workload(std::uint64_t seed, std::size_t n_blocks)
+{
+    Rng rng(seed);
+    std::vector<Word> hot(48);
+    for (auto &h : hot)
+        h = (static_cast<Word>(rng.bits()) | 0x00400000u) & 0x7FFFFFFFu;
+    std::vector<DataBlock> blocks;
+    blocks.reserve(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+        std::vector<Word> ws(16);
+        for (auto &w : ws) {
+            double r = rng.uniform();
+            if (r < 0.15)
+                w = 0;
+            else if (r < 0.6)
+                w = hot[rng.next(hot.size())];
+            else if (r < 0.8)
+                w = hot[rng.next(hot.size())] ^
+                    static_cast<Word>(rng.next(128));
+            else
+                w = static_cast<Word>(rng.bits());
+        }
+        blocks.emplace_back(std::move(ws), DataType::Int32, true);
+    }
+    return blocks;
+}
+
+NodeId
+flow_src(std::size_t b)
+{
+    return static_cast<NodeId>(b % kFlows);
+}
+
+NodeId
+flow_dst(std::size_t b)
+{
+    return static_cast<NodeId>(kFlows + b % kFlows);
+}
+
+/** Requests spreading @p blocks round-robin over the kFlows flows. */
+std::vector<EncodeRequest>
+make_encode_requests(const std::vector<DataBlock> &blocks, Cycle now)
+{
+    std::vector<EncodeRequest> reqs;
+    reqs.reserve(blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        reqs.push_back({&blocks[b], flow_src(b), flow_dst(b), now});
+    return reqs;
+}
+
+std::vector<DecodeRequest>
+make_decode_requests(const std::vector<EncodedBlock> &encs, Cycle now)
+{
+    std::vector<DecodeRequest> reqs;
+    reqs.reserve(encs.size());
+    for (std::size_t b = 0; b < encs.size(); ++b)
+        reqs.push_back({&encs[b], flow_src(b), flow_dst(b), now});
+    return reqs;
+}
+
+struct CodecUnderTest {
+    std::string name;
+    std::unique_ptr<CodecSystem> codec;
+};
+
+/** The paper schemes plus the adaptive wrapper, fresh instances. */
+std::vector<CodecUnderTest>
+make_codecs()
+{
+    CodecConfig cfg;
+    cfg.n_nodes = kNodes;
+    cfg.error_threshold_pct = 10.0;
+    cfg.dict.pmt_entries = 16;
+    cfg.dict.tracker_entries = 32;
+
+    std::vector<CodecUnderTest> out;
+    for (Scheme s : {Scheme::FpComp, Scheme::FpVaxx, Scheme::DiComp,
+                     Scheme::DiVaxx})
+        out.push_back({to_string(s), CodecFactory::create(s, cfg)});
+
+    AdaptiveConfig acfg;
+    acfg.n_nodes = kNodes;
+    acfg.window_blocks = 8;
+    acfg.off_blocks = 16;
+    acfg.probe_blocks = 4;
+    out.push_back({"adaptive(DI-VAXX)",
+                   std::make_unique<AdaptiveCodec>(
+                       CodecFactory::create(Scheme::DiVaxx, cfg), acfg)});
+    return out;
+}
+
+/** Train dictionaries: serial encode/decode round trips per flow, then
+ * discard the training-time notifications so the tests compare only
+ * what the measured decodes emit. */
+void
+train(CodecSystem &codec, const std::vector<DataBlock> &blocks)
+{
+    Cycle now = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            EncodedBlock enc =
+                codec.encodeBlock(blocks[b], flow_src(b), flow_dst(b), now);
+            codec.decodeBlock(enc, flow_src(b), flow_dst(b), now);
+            now += 53;
+        }
+    }
+    for (NodeId d = 0; d < static_cast<NodeId>(kNodes); ++d)
+        codec.drainNotifications(d);
+}
+
+void
+expect_identical_blocks(const std::vector<DataBlock> &a,
+                        const std::vector<DataBlock> &b,
+                        const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].words(), b[i].words()) << what << " block " << i;
+        ASSERT_EQ(a[i].type(), b[i].type()) << what << " block " << i;
+        ASSERT_EQ(a[i].approximable(), b[i].approximable())
+            << what << " block " << i;
+    }
+}
+
+void
+expect_identical_enc_streams(const std::vector<EncodedBlock> &a,
+                             const std::vector<EncodedBlock> &b,
+                             const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].bits(), b[i].bits()) << what << " block " << i;
+        const auto &wa = a[i].words();
+        const auto &wb = b[i].words();
+        ASSERT_EQ(wa.size(), wb.size()) << what << " block " << i;
+        for (std::size_t w = 0; w < wa.size(); ++w) {
+            ASSERT_EQ(wa[w].kind, wb[w].kind)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].payload, wb[w].payload)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].decoded, wb[w].decoded)
+                << what << " block " << i << " word " << w;
+            ASSERT_EQ(wa[w].run, wb[w].run)
+                << what << " block " << i << " word " << w;
+        }
+    }
+}
+
+/** Drain both codecs destination by destination; every stream must
+ * match (from, to, seq) exactly and carry strictly increasing seq. */
+void
+expect_identical_notifications(CodecSystem &a, CodecSystem &b,
+                               const std::string &what)
+{
+    for (NodeId d = 0; d < static_cast<NodeId>(kNodes); ++d) {
+        auto na = a.drainNotifications(d);
+        auto nb = b.drainNotifications(d);
+        ASSERT_EQ(na.size(), nb.size()) << what << " dst " << d;
+        for (std::size_t i = 0; i < na.size(); ++i) {
+            EXPECT_EQ(na[i].from, nb[i].from)
+                << what << " dst " << d << " note " << i;
+            EXPECT_EQ(na[i].to, nb[i].to)
+                << what << " dst " << d << " note " << i;
+            EXPECT_EQ(na[i].seq, nb[i].seq)
+                << what << " dst " << d << " note " << i;
+            EXPECT_EQ(na[i].from, d) << what << " dst " << d << " note " << i;
+            if (i > 0) {
+                EXPECT_LT(na[i - 1].seq, na[i].seq)
+                    << what << " dst " << d << " note " << i;
+            }
+        }
+    }
+}
+
+void
+expect_identical_activity(const CodecActivity &a, const CodecActivity &b,
+                          const std::string &what)
+{
+    EXPECT_EQ(a.words_encoded, b.words_encoded) << what;
+    EXPECT_EQ(a.words_decoded, b.words_decoded) << what;
+    EXPECT_EQ(a.cam_searches, b.cam_searches) << what;
+    EXPECT_EQ(a.cam_writes, b.cam_writes) << what;
+    EXPECT_EQ(a.tcam_searches, b.tcam_searches) << what;
+    EXPECT_EQ(a.tcam_writes, b.tcam_writes) << what;
+    EXPECT_EQ(a.avcl_ops, b.avcl_ops) << what;
+}
+
+struct BoundCounters {
+    Counter blocks_encoded, blocks_decoded, hit_exact, hit_approx, miss_raw,
+        bits_out;
+
+    CodecCounters
+    handles()
+    {
+        CodecCounters c;
+        c.blocks_encoded = &blocks_encoded;
+        c.blocks_decoded = &blocks_decoded;
+        c.hit_exact = &hit_exact;
+        c.hit_approx = &hit_approx;
+        c.miss_raw = &miss_raw;
+        c.bits_out = &bits_out;
+        return c;
+    }
+};
+
+/**
+ * The headline suite: for every scheme, a trained codec decoding
+ * serially and an identically trained twin decoding at jobs=4 must
+ * produce bit-identical DataBlocks, identical merged stats, identical
+ * per-destination notification streams, and identical residual state
+ * on both the encoder side (probed by a serial encode wave, which
+ * merges the decode-filled pending channels) and the decoder side
+ * (probed by a serial decode wave).
+ */
+TEST(ParallelDecode, BitIdenticalBlocksStatsAndNotificationsAcrossJobs)
+{
+    const auto blocks = make_workload(0x5EED, 480);
+    const auto probe = make_workload(0xF00D, 120);
+
+    auto serial = make_codecs();
+    auto sharded = make_codecs();
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+        SCOPED_TRACE(serial[c].name);
+        BoundCounters ctr1, ctrN;
+        serial[c].codec->bindCounters(ctr1.handles());
+        sharded[c].codec->bindCounters(ctrN.handles());
+        train(*serial[c].codec, blocks);
+        train(*sharded[c].codec, blocks);
+
+        const Cycle now = 1000000; // past every in-flight update
+        auto ereqs = make_encode_requests(blocks, now);
+        auto encs1 = FlowShardedEncoder(*serial[c].codec, 1).encodeAll(ereqs);
+        auto encsN =
+            FlowShardedEncoder(*sharded[c].codec, 1).encodeAll(ereqs);
+        // Twin validation: identically trained codecs encode the batch
+        // identically, so both decoders see the same wire stream.
+        expect_identical_enc_streams(encs1, encsN,
+                                     serial[c].name + " twin encode");
+
+        FlowShardedDecoder dec1(*serial[c].codec, 1);
+        FlowShardedDecoder decN(*sharded[c].codec, 4);
+        auto out1 = dec1.decodeAll(make_decode_requests(encs1, now));
+        auto outN = decN.decodeAll(make_decode_requests(encsN, now));
+        EXPECT_EQ(decN.lastShardCount(), kFlows);
+
+        expect_identical_blocks(out1, outN, serial[c].name + " wave 1");
+        expect_identical_activity(serial[c].codec->activity(),
+                                  sharded[c].codec->activity(),
+                                  serial[c].name + " activity");
+        EXPECT_EQ(serial[c].codec->consistencyMismatches(),
+                  sharded[c].codec->consistencyMismatches());
+        EXPECT_EQ(ctr1.blocks_decoded.value(), ctrN.blocks_decoded.value());
+        expect_identical_notifications(*serial[c].codec, *sharded[c].codec,
+                                       serial[c].name + " notifications");
+
+        // Encoder-side residue: the decodes above filled the pending
+        // update channels; a serial encode wave merges them. Both
+        // twins must merge to the same tables.
+        auto probe_ereqs = make_encode_requests(probe, now + 1);
+        auto probe_encs1 =
+            FlowShardedEncoder(*serial[c].codec, 1).encodeAll(probe_ereqs);
+        auto probe_encsN =
+            FlowShardedEncoder(*sharded[c].codec, 1).encodeAll(probe_ereqs);
+        expect_identical_enc_streams(probe_encs1, probe_encsN,
+                                     serial[c].name + " encode probe");
+
+        // Decoder-side residue: a serial decode wave.
+        auto probe_out1 =
+            dec1.decodeAll(make_decode_requests(probe_encs1, now + 2));
+        FlowShardedDecoder probe_dec(*sharded[c].codec, 1);
+        auto probe_outN =
+            probe_dec.decodeAll(make_decode_requests(probe_encsN, now + 2));
+        expect_identical_blocks(probe_out1, probe_outN,
+                                serial[c].name + " decode probe");
+        expect_identical_notifications(*serial[c].codec, *sharded[c].codec,
+                                       serial[c].name +
+                                           " probe notifications");
+    }
+}
+
+/** Full encode -> wire -> decode round trips through the unified
+ * pipeline front-end, at split job counts, must be equivalent to the
+ * all-serial pipeline — and the decoded data must round-trip encoding
+ * exactly (what the decoder reconstructs is what the encoder said). */
+TEST(ParallelDecode, RoundTripPipelineEquivalence)
+{
+    const auto blocks = make_workload(0xD0D0, 240);
+    auto serial = make_codecs();
+    auto sharded = make_codecs();
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+        SCOPED_TRACE(serial[c].name);
+        train(*serial[c].codec, blocks);
+        train(*sharded[c].codec, blocks);
+
+        const Cycle now = 1000000;
+        auto reqs = make_encode_requests(blocks, now);
+        ShardedCodecPipeline pipe1(*serial[c].codec, 1);
+        ShardedCodecPipeline pipeN(*sharded[c].codec, /*encode_jobs=*/4,
+                                   /*decode_jobs=*/3);
+        auto rt1 = pipe1.roundTrip(reqs, /*decode_delay=*/7);
+        auto rtN = pipeN.roundTrip(reqs, /*decode_delay=*/7);
+        EXPECT_EQ(pipeN.lastEncodeShardCount(), kFlows);
+        EXPECT_EQ(pipeN.lastDecodeShardCount(), kFlows);
+
+        expect_identical_enc_streams(rt1.encoded, rtN.encoded,
+                                     serial[c].name + " encoded");
+        expect_identical_blocks(rt1.decoded, rtN.decoded,
+                                serial[c].name + " decoded");
+        // The wire is faithful: every decoded word is the word the
+        // encoder committed to (EncodedWord::decoded), i.e. zero
+        // consistency mismatches on both paths.
+        EXPECT_EQ(serial[c].codec->consistencyMismatches(),
+                  sharded[c].codec->consistencyMismatches());
+        expect_identical_notifications(*serial[c].codec, *sharded[c].codec,
+                                       serial[c].name + " notifications");
+    }
+}
+
+/**
+ * Instrumented codec for the adversarial interleaving test: records,
+ * under a mutex, which destination endpoints are being decoded at any
+ * moment and in what order each destination's requests arrive. A
+ * short sleep widens the race window so a broken scheduler actually
+ * overlaps same-dst decodes instead of getting lucky.
+ */
+class DecodeInterleaveProbeCodec : public CodecSystem
+{
+  public:
+    explicit DecodeInterleaveProbeCodec(std::size_t n_dsts)
+        : last_index_(n_dsts, -1)
+    {}
+
+    Scheme scheme() const override { return Scheme::Baseline; }
+
+    EncodedBlock
+    encode(const DataBlock &block, NodeId /*src*/, NodeId /*dst*/,
+           Cycle now) override
+    {
+        EncodedBlock enc;
+        EncodedWord w;
+        w.bits = 33;
+        w.payload = static_cast<std::uint32_t>(now); // echo submission idx
+        w.decoded = block.size() ? block.word(0) : 0;
+        w.uncompressed = true;
+        enc.append(w);
+        enc.setMeta(block.type(), block.approximable());
+        return enc;
+    }
+
+    DataBlock
+    decode(const EncodedBlock &enc, NodeId src, NodeId dst,
+           Cycle now) override
+    {
+        return decodeBlock(enc, src, dst, now);
+    }
+
+    DataBlock
+    decodeBlock(const EncodedBlock &enc, NodeId /*src*/, NodeId dst,
+                Cycle now) override
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            if (!active_dsts_.insert(dst).second)
+                same_dst_overlap_ = true;
+            // Submission index rides in `now`; per-dst order must be
+            // strictly increasing (= submission order).
+            if (static_cast<long>(now) <= last_index_[dst])
+                order_violation_ = true;
+            last_index_[dst] = static_cast<long>(now);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            active_dsts_.erase(dst);
+        }
+        return DataBlock({enc.words().front().payload}, enc.type(),
+                         enc.approximable());
+    }
+
+    bool sameDstOverlap() const { return same_dst_overlap_; }
+    bool orderViolation() const { return order_violation_; }
+
+  private:
+    std::mutex mtx_;
+    std::set<NodeId> active_dsts_;
+    std::vector<long> last_index_;
+    bool same_dst_overlap_ = false;
+    bool order_violation_ = false;
+};
+
+/**
+ * Blocks headed to one destination endpoint are never in flight
+ * concurrently, and each endpoint sees its requests in submission
+ * order, at every job count — even when every source differs (the
+ * adversarial case: encode sharding would scatter these).
+ */
+TEST(ParallelDecode, SameDestinationBlocksNeverDecodedConcurrently)
+{
+    constexpr std::size_t kDsts = 3;
+    constexpr std::size_t kBlocksPerDst = 40;
+    std::vector<EncodedBlock> encs;
+    DecodeInterleaveProbeCodec builder(kDsts);
+    for (std::size_t i = 0; i < kDsts * kBlocksPerDst; ++i) {
+        DataBlock b({static_cast<Word>(i)}, DataType::Int32, false);
+        encs.push_back(builder.encode(b, 0, 0, static_cast<Cycle>(i)));
+    }
+
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        DecodeInterleaveProbeCodec probe(kDsts);
+        std::vector<DecodeRequest> reqs;
+        for (std::size_t i = 0; i < encs.size(); ++i)
+            reqs.push_back({&encs[i],
+                            static_cast<NodeId>(kDsts + i % 7), // varied srcs
+                            static_cast<NodeId>(i % kDsts),
+                            static_cast<Cycle>(i)});
+        FlowShardedDecoder dec(probe, jobs);
+        auto out = dec.decodeAll(reqs);
+        EXPECT_FALSE(probe.sameDstOverlap()) << "jobs=" << jobs;
+        EXPECT_FALSE(probe.orderViolation()) << "jobs=" << jobs;
+        // Merge order: result i is the decode of request i.
+        ASSERT_EQ(out.size(), reqs.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_EQ(out[i].word(0), i) << "jobs=" << jobs;
+    }
+}
+
+/** A throwing decode surfaces as one exception naming the destination;
+ * other shards finish. */
+TEST(ParallelDecode, DecodeFailurePropagates)
+{
+    class ThrowingCodec : public DecodeInterleaveProbeCodec
+    {
+      public:
+        ThrowingCodec() : DecodeInterleaveProbeCodec(4) {}
+        DataBlock
+        decodeBlock(const EncodedBlock &enc, NodeId src, NodeId dst,
+                    Cycle now) override
+        {
+            if (dst == 2)
+                throw std::runtime_error("injected decode failure");
+            return DecodeInterleaveProbeCodec::decodeBlock(enc, src, dst,
+                                                           now);
+        }
+    };
+
+    ThrowingCodec codec;
+    std::vector<EncodedBlock> encs;
+    for (std::size_t i = 0; i < 32; ++i) {
+        DataBlock b({static_cast<Word>(i)}, DataType::Int32, false);
+        encs.push_back(codec.encode(b, 0, 0, static_cast<Cycle>(i)));
+    }
+    std::vector<DecodeRequest> reqs;
+    for (std::size_t i = 0; i < encs.size(); ++i)
+        reqs.push_back({&encs[i], 5, static_cast<NodeId>(i % 4),
+                        static_cast<Cycle>(i)});
+
+    FlowShardedDecoder dec(codec, 4);
+    EXPECT_THROW(
+        {
+            try {
+                dec.decodeAll(reqs);
+            } catch (const std::runtime_error &e) {
+                EXPECT_NE(std::string(e.what()).find("dst 2"),
+                          std::string::npos);
+                EXPECT_NE(std::string(e.what()).find("injected"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        std::runtime_error);
+    EXPECT_FALSE(codec.sameDstOverlap());
+}
+
+/** jobs=0 resolves to hardware concurrency and still merges in
+ * submission order (smoke for the auto-jobs path). */
+TEST(ParallelDecode, AutoJobsIsDeterministic)
+{
+    const auto blocks = make_workload(0xABCD, 180);
+    auto a = make_codecs();
+    auto b = make_codecs();
+    for (std::size_t c = 0; c < a.size(); ++c) {
+        SCOPED_TRACE(a[c].name);
+        train(*a[c].codec, blocks);
+        train(*b[c].codec, blocks);
+        const Cycle now = 1000000;
+        auto reqs = make_encode_requests(blocks, now);
+        auto encs1 = FlowShardedEncoder(*a[c].codec, 1).encodeAll(reqs);
+        auto encsA = FlowShardedEncoder(*b[c].codec, 1).encodeAll(reqs);
+        auto out1 = FlowShardedDecoder(*a[c].codec, 1)
+                        .decodeAll(make_decode_requests(encs1, now));
+        auto outA = FlowShardedDecoder(*b[c].codec, 0)
+                        .decodeAll(make_decode_requests(encsA, now));
+        expect_identical_blocks(out1, outA, a[c].name + " auto-jobs");
+        expect_identical_notifications(*a[c].codec, *b[c].codec,
+                                       a[c].name + " notifications");
+    }
+}
+
+/** The deprecated argless drain is exactly the concatenation of the
+ * per-destination drains in ascending node order. */
+TEST(ParallelDecode, DeprecatedDrainMatchesPerDestinationConcatenation)
+{
+    const auto blocks = make_workload(0xBEEF, 240);
+    auto a = make_codecs();
+    auto b = make_codecs();
+    for (std::size_t c = 0; c < a.size(); ++c) {
+        SCOPED_TRACE(a[c].name);
+        // Train WITHOUT draining so both twins hold queued
+        // notifications, then compare the two drain APIs.
+        Cycle now = 0;
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            auto ea = a[c].codec->encodeBlock(blocks[i], flow_src(i),
+                                              flow_dst(i), now);
+            a[c].codec->decodeBlock(ea, flow_src(i), flow_dst(i), now);
+            auto eb = b[c].codec->encodeBlock(blocks[i], flow_src(i),
+                                              flow_dst(i), now);
+            b[c].codec->decodeBlock(eb, flow_src(i), flow_dst(i), now);
+            now += 53;
+        }
+        std::vector<CodecSystem::Notification> per_dst;
+        for (NodeId d = 0; d < static_cast<NodeId>(kNodes); ++d)
+            for (const auto &n : a[c].codec->drainNotifications(d))
+                per_dst.push_back(n);
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+        auto global = b[c].codec->drainNotifications();
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+        ASSERT_EQ(per_dst.size(), global.size());
+        for (std::size_t i = 0; i < per_dst.size(); ++i) {
+            EXPECT_EQ(per_dst[i].from, global[i].from) << "note " << i;
+            EXPECT_EQ(per_dst[i].to, global[i].to) << "note " << i;
+            EXPECT_EQ(per_dst[i].seq, global[i].seq) << "note " << i;
+        }
+    }
+}
+
+} // namespace

@@ -21,6 +21,10 @@
  *                      [--flows --blocks --reps] — no network; batch
  *                      block encoding through FlowShardedEncoder,
  *                      jobs=1 vs jobs=N cross-checked and timed
+ *   decode bench     : --decode-bench[=all|scheme,...] [--decode-jobs=N]
+ *                      [--flows --blocks --reps] — the decode twin:
+ *                      batch decoding through ShardedCodecPipeline,
+ *                      jobs=1 vs jobs=N cross-checked and timed
  *
  * Single-scheme runs end with the gem5-style stats dump.
  */
@@ -35,7 +39,7 @@
 #include "common/table.h"
 #include "core/codec_factory.h"
 #include "harness/experiment.h"
-#include "harness/flow_sharded_encoder.h"
+#include "harness/sharded_codec_pipeline.h"
 #include "noc/network.h"
 #include "noc/qos_loop.h"
 #include "sim/simulator.h"
@@ -68,7 +72,11 @@ usage()
         "                        network — flow-sharded parallel encode,\n"
         "                        jobs=1 vs jobs=N cross-checked)\n"
         "  --encode-jobs=<n>    (encoder shard workers, 0=auto; default 0)\n"
-        "  --flows=8 --blocks=4096 --reps=3   (encode-bench workload)\n"
+        "  --decode-bench[=all|s,s]  (batch block-decode benchmark; no\n"
+        "                        network — destination-sharded parallel\n"
+        "                        decode, jobs=1 vs jobs=N cross-checked)\n"
+        "  --decode-jobs=<n>    (decoder shard workers, 0=auto; default 0)\n"
+        "  --flows=8 --blocks=4096 --reps=3   (codec-bench workload)\n"
         "  --metrics-out=<dir>  (hierarchical metrics JSON per run)\n"
         "  --trace-out=<dir>    (Chrome trace-event JSON per run; open in\n"
         "                        Perfetto or chrome://tracing)\n"
@@ -364,7 +372,7 @@ run_encode_bench(const CliArgs &args)
             for (std::size_t b = 0; b < blocks.size(); ++b) {
                 EncodedBlock enc = codec->encodeBlock(
                     blocks[b], flow_src(b), flow_dst(b), now);
-                codec->decode(enc, flow_src(b), flow_dst(b), now);
+                codec->decodeBlock(enc, flow_src(b), flow_dst(b), now);
                 now += 51;
             }
         }
@@ -418,6 +426,151 @@ run_encode_bench(const CliArgs &args)
     return all_ok ? 0 : 1;
 }
 
+/**
+ * `--decode-bench` mode: the decode-side twin of --encode-bench,
+ * exercising harness::ShardedCodecPipeline. Dictionaries are trained
+ * per codec instance with serial encode+decode passes; because decode
+ * mutates the learning state, the jobs=1 and jobs=N runs each get
+ * their own identically trained twin. The batch is encoded serially
+ * (the pipeline's encode phase), then decodeAll() is timed at jobs=1
+ * and jobs=--decode-jobs. Word sums, consistency mismatches and
+ * per-destination notification streams must match exactly (the
+ * jobs-equivalence guarantee of the destination-isolation contract);
+ * a divergence fails the run.
+ */
+int
+run_decode_bench(const CliArgs &args)
+{
+    std::string list = args.getString("decode-bench", "");
+    std::vector<Scheme> schemes =
+        list.empty()
+            ? std::vector<Scheme>{scheme_from_string(
+                  args.getString("scheme", "FP-VAXX"))}
+            : harness::parse_scheme_list(list);
+
+    auto flows = static_cast<unsigned>(args.getInt("flows", 8));
+    auto n_blocks = static_cast<std::size_t>(args.getInt("blocks", 4096));
+    unsigned decode_jobs =
+        static_cast<unsigned>(args.getInt("decode-jobs", 0));
+    int reps = static_cast<int>(args.getInt("reps", 3));
+    auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    constexpr std::size_t kWordsPerBlock = 16;
+
+    DataType type = args.getString("type", "float") == "int"
+                        ? DataType::Int32
+                        : DataType::Float32;
+    SyntheticDataProvider provider(type, kWordsPerBlock, 0.9, 3.0, seed,
+                                   0.7, 8);
+    auto flow_src = [&](std::size_t b) {
+        return static_cast<NodeId>(b % flows);
+    };
+    auto flow_dst = [&](std::size_t b) {
+        return static_cast<NodeId>(flows + b % flows);
+    };
+    std::vector<DataBlock> blocks;
+    blocks.reserve(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b)
+        blocks.push_back(provider.next(flow_src(b)));
+
+    Table t({"scheme", "jobs", "shards", "j1 Mw/s", "jN Mw/s", "speedup",
+             "status"});
+    bool all_ok = true;
+    for (Scheme scheme : schemes) {
+        CodecConfig cc;
+        cc.n_nodes = 2 * flows;
+        cc.error_threshold_pct = args.getDouble("threshold", 10.0);
+
+        Cycle measure_at = 0;
+        auto make_trained = [&]() {
+            auto codec = CodecFactory::create(scheme, cc);
+            Cycle now = 0;
+            for (int pass = 0; pass < 2; ++pass) {
+                for (std::size_t b = 0; b < blocks.size(); ++b) {
+                    EncodedBlock enc = codec->encodeBlock(
+                        blocks[b], flow_src(b), flow_dst(b), now);
+                    codec->decodeBlock(enc, flow_src(b), flow_dst(b), now);
+                    now += 51;
+                }
+            }
+            for (NodeId d = 0; d < static_cast<NodeId>(cc.n_nodes); ++d)
+                codec->drainNotifications(d);
+            measure_at = now + 100000;
+            return codec;
+        };
+        auto codec1 = make_trained();
+        auto codecN = make_trained();
+
+        std::vector<harness::EncodeRequest> ereqs;
+        ereqs.reserve(blocks.size());
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            ereqs.push_back(
+                {&blocks[b], flow_src(b), flow_dst(b), measure_at});
+
+        const double words =
+            static_cast<double>(blocks.size() * kWordsPerBlock);
+        std::size_t shards = 0;
+        unsigned resolved_jobs = 0;
+        auto measure = [&](CodecSystem &codec, unsigned jobs,
+                           std::uint64_t &sink) {
+            harness::ShardedCodecPipeline pipe(codec, /*encode_jobs=*/1,
+                                               jobs);
+            if (jobs != 1)
+                resolved_jobs = pipe.decodeJobs();
+            auto encs = pipe.encodeAll(ereqs); // serial encode phase
+            std::vector<harness::DecodeRequest> dreqs;
+            dreqs.reserve(encs.size());
+            for (std::size_t b = 0; b < encs.size(); ++b)
+                dreqs.push_back(
+                    {&encs[b], flow_src(b), flow_dst(b), measure_at});
+            std::vector<double> rep_wps;
+            for (int rep = 0; rep < reps; ++rep) {
+                std::uint64_t rep_sink = 0;
+                auto t0 = std::chrono::steady_clock::now();
+                auto out = pipe.decodeAll(dreqs);
+                auto t1 = std::chrono::steady_clock::now();
+                for (const auto &db : out)
+                    for (std::size_t w = 0; w < db.size(); ++w)
+                        rep_sink += db.word(w);
+                double secs =
+                    std::chrono::duration<double>(t1 - t0).count();
+                rep_wps.push_back(words / secs);
+                sink = rep_sink;
+            }
+            shards = pipe.lastDecodeShardCount();
+            std::sort(rep_wps.begin(), rep_wps.end());
+            return rep_wps[rep_wps.size() / 2];
+        };
+
+        std::uint64_t sink1 = 0, sinkN = 0;
+        double j1 = measure(*codec1, 1, sink1);
+        double jn = measure(*codecN, decode_jobs, sinkN);
+
+        bool ok = sink1 == sinkN &&
+                  codec1->consistencyMismatches() ==
+                      codecN->consistencyMismatches();
+        for (NodeId d = 0; ok && d < static_cast<NodeId>(cc.n_nodes); ++d) {
+            auto n1 = codec1->drainNotifications(d);
+            auto nN = codecN->drainNotifications(d);
+            ok = n1.size() == nN.size();
+            for (std::size_t i = 0; ok && i < n1.size(); ++i)
+                ok = n1[i].from == nN[i].from && n1[i].to == nN[i].to &&
+                     n1[i].seq == nN[i].seq;
+        }
+        all_ok = all_ok && ok;
+
+        auto row = t.row();
+        row.cell(to_string(scheme))
+            .cell(static_cast<long>(resolved_jobs))
+            .cell(static_cast<long>(shards))
+            .cell(j1 / 1e6, 2)
+            .cell(jn / 1e6, 2)
+            .cell(jn / j1, 2)
+            .cell(std::string(ok ? "ok" : "STREAM MISMATCH"));
+    }
+    t.print(std::cout);
+    return all_ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -433,6 +586,8 @@ main(int argc, char **argv)
         return run_compare(args);
     if (args.has("encode-bench"))
         return run_encode_bench(args);
+    if (args.has("decode-bench"))
+        return run_decode_bench(args);
 
     Scheme scheme =
         scheme_from_string(args.getString("scheme", "FP-VAXX"));
