@@ -326,12 +326,16 @@ struct ParallelResult {
     double jn_words_per_sec = 0;
     double speedup = 0;
     std::uint64_t sink = 0;
+    /** Per-shard self-profiling (populated only under --profile-out;
+     * profiling stays off for gated timings, so the perf numbers the
+     * regression gate compares never carry instrumentation cost). */
+    harness::ShardStats stats1, statsN;
 };
 
 ParallelResult
 run_parallel_scheme(Scheme scheme, const std::string &key,
                     const std::vector<DataBlock> &blocks, int reps,
-                    unsigned encode_jobs)
+                    unsigned encode_jobs, bool profile)
 {
     CodecConfig cfg;
     cfg.n_nodes = 2 * kParFlows;
@@ -366,8 +370,10 @@ run_parallel_scheme(Scheme scheme, const std::string &key,
 
     const double words =
         static_cast<double>(blocks.size() * kWordsPerBlock * kInnerIters);
-    auto measure = [&](unsigned jobs, std::uint64_t &sink) {
+    auto measure = [&](unsigned jobs, std::uint64_t &sink,
+                       harness::ShardStats *stats) {
         harness::FlowShardedEncoder enc(*codec, jobs);
+        enc.setProfiling(profile);
         std::vector<double> rep_wps;
         for (int rep = 0; rep < reps; ++rep) {
             std::uint64_t rep_sink = 0;
@@ -382,6 +388,8 @@ run_parallel_scheme(Scheme scheme, const std::string &key,
             rep_wps.push_back(words / secs);
             sink = rep_sink;
         }
+        if (stats)
+            *stats = enc.stats();
         std::sort(rep_wps.begin(), rep_wps.end());
         return rep_wps[rep_wps.size() / 2];
     };
@@ -389,8 +397,9 @@ run_parallel_scheme(Scheme scheme, const std::string &key,
     ParallelResult res;
     res.key = key;
     std::uint64_t sink1 = 0, sinkN = 0;
-    res.j1_words_per_sec = measure(1, sink1);
-    res.jn_words_per_sec = measure(encode_jobs, sinkN);
+    res.j1_words_per_sec = measure(1, sink1, profile ? &res.stats1 : nullptr);
+    res.jn_words_per_sec =
+        measure(encode_jobs, sinkN, profile ? &res.statsN : nullptr);
     if (sink1 != sinkN) {
         std::fprintf(stderr,
                      "micro_codec: PARALLEL ENCODE MISMATCH for %s: "
@@ -416,7 +425,7 @@ run_parallel_scheme(Scheme scheme, const std::string &key,
 ParallelResult
 run_parallel_decode_scheme(Scheme scheme, const std::string &key,
                            const std::vector<DataBlock> &blocks, int reps,
-                           unsigned decode_jobs)
+                           unsigned decode_jobs, bool profile)
 {
     CodecConfig cfg;
     cfg.n_nodes = 2 * kParFlows;
@@ -469,12 +478,14 @@ run_parallel_decode_scheme(Scheme scheme, const std::string &key,
     const double words =
         static_cast<double>(blocks.size() * kWordsPerBlock * kInnerIters);
     auto measure = [&](CodecSystem &c, const std::vector<EncodedBlock> &encs,
-                       unsigned jobs, std::uint64_t &sink) {
+                       unsigned jobs, std::uint64_t &sink,
+                       harness::ShardStats *stats) {
         std::vector<harness::DecodeRequest> reqs;
         reqs.reserve(encs.size());
         for (std::size_t b = 0; b < encs.size(); ++b)
             reqs.push_back({&encs[b], flow_src(b), flow_dst(b), measure_at});
         harness::FlowShardedDecoder dec(c, jobs);
+        dec.setProfiling(profile);
         std::vector<double> rep_wps;
         for (int rep = 0; rep < reps; ++rep) {
             std::uint64_t rep_sink = 0;
@@ -490,6 +501,8 @@ run_parallel_decode_scheme(Scheme scheme, const std::string &key,
             rep_wps.push_back(words / secs);
             sink = rep_sink;
         }
+        if (stats)
+            *stats = dec.stats();
         std::sort(rep_wps.begin(), rep_wps.end());
         return rep_wps[rep_wps.size() / 2];
     };
@@ -497,8 +510,10 @@ run_parallel_decode_scheme(Scheme scheme, const std::string &key,
     ParallelResult res;
     res.key = key;
     std::uint64_t sink1 = 0, sinkN = 0;
-    res.j1_words_per_sec = measure(*codec1, encs1, 1, sink1);
-    res.jn_words_per_sec = measure(*codecN, encsN, decode_jobs, sinkN);
+    res.j1_words_per_sec =
+        measure(*codec1, encs1, 1, sink1, profile ? &res.stats1 : nullptr);
+    res.jn_words_per_sec = measure(*codecN, encsN, decode_jobs, sinkN,
+                                   profile ? &res.statsN : nullptr);
 
     bool notes_equal = true;
     for (NodeId d = 0; d < static_cast<NodeId>(cfg.n_nodes); ++d) {
@@ -529,10 +544,72 @@ run_parallel_decode_scheme(Scheme scheme, const std::string &key,
     return res;
 }
 
+/** `{"batches": ..., "imbalance": ...}` for one ShardStats bundle. */
+void
+write_shard_stats(std::FILE *f, const harness::ShardStats &s)
+{
+    std::fprintf(f,
+                 "{\"batches\": %llu, \"blocks\": %llu, "
+                 "\"shard_slots\": %llu, \"busy_ns\": %llu, "
+                 "\"max_busy_ns\": %llu, \"wall_ns\": %llu, "
+                 "\"merge_wait_ns\": %llu, \"mean_batch_size\": %.6g, "
+                 "\"imbalance\": %.4g}",
+                 static_cast<unsigned long long>(s.batches),
+                 static_cast<unsigned long long>(s.blocks),
+                 static_cast<unsigned long long>(s.shard_slots),
+                 static_cast<unsigned long long>(s.busy_ns),
+                 static_cast<unsigned long long>(s.max_busy_ns),
+                 static_cast<unsigned long long>(s.wall_ns),
+                 static_cast<unsigned long long>(s.merge_wait_ns),
+                 s.meanBatchSize(), s.imbalance());
+}
+
+/** The --profile-out pipeline self-profile (encode + decode shard
+ * timing per scheme). Wall-clock derived, never part of the gated
+ * comparison. */
+int
+write_profile(const std::string &path,
+              const std::vector<ParallelResult> &par,
+              const std::vector<ParallelResult> &pardec,
+              unsigned encode_jobs, unsigned decode_jobs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "micro_codec: cannot open %s for writing\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"schema\": \"approxnoc-micro-codec-profile-v1\",\n");
+    auto section = [&](const char *name,
+                       const std::vector<ParallelResult> &rows,
+                       unsigned jobs, bool last) {
+        std::fprintf(f, "  \"%s\": {\n    \"jobs\": %u,\n    \"schemes\": {",
+                     name, jobs);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            std::fprintf(f, "%s\n      \"%s\": {\"jobs1\": ",
+                         i ? "," : "", rows[i].key.c_str());
+            write_shard_stats(f, rows[i].stats1);
+            std::fprintf(f, ", \"jobsN\": ");
+            write_shard_stats(f, rows[i].statsN);
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "%s}\n  }%s\n", rows.empty() ? "" : "\n    ",
+                     last ? "" : ",");
+    };
+    section("encode", par, encode_jobs, false);
+    section("decode", pardec, decode_jobs, true);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "micro_codec: wrote %s\n", path.c_str());
+    return 0;
+}
+
 int
 run(const std::string &path, int reps, unsigned encode_jobs,
-    unsigned decode_jobs)
+    unsigned decode_jobs, const std::string &profile_path)
 {
+    const bool profile = !profile_path.empty();
     const auto blocks = make_workload();
     const std::pair<Scheme, const char *> schemes[] = {
         {Scheme::Baseline, "baseline"}, {Scheme::DiComp, "di_comp"},
@@ -554,7 +631,7 @@ run(const std::string &path, int reps, unsigned encode_jobs,
             if (scheme == Scheme::Baseline)
                 continue; // memcpy-bound; sharding overhead only
             par.push_back(run_parallel_scheme(scheme, key, blocks, reps,
-                                              encode_jobs));
+                                              encode_jobs, profile));
             std::fprintf(stderr,
                          "%-10s parallel %8u flows  j1 %12.0f  j%u %12.0f "
                          "words/sec  %.2fx\n",
@@ -569,8 +646,8 @@ run(const std::string &path, int reps, unsigned encode_jobs,
         for (const auto &[scheme, key] : schemes) {
             if (scheme == Scheme::Baseline)
                 continue; // memcpy-bound; sharding overhead only
-            pardec.push_back(run_parallel_decode_scheme(scheme, key, blocks,
-                                                        reps, decode_jobs));
+            pardec.push_back(run_parallel_decode_scheme(
+                scheme, key, blocks, reps, decode_jobs, profile));
             std::fprintf(stderr,
                          "%-10s par-decode %6u flows  j1 %12.0f  j%u %12.0f "
                          "words/sec  %.2fx\n",
@@ -669,6 +746,9 @@ run(const std::string &path, int reps, unsigned encode_jobs,
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::fprintf(stderr, "micro_codec: wrote %s\n", path.c_str());
+    if (profile)
+        return write_profile(profile_path, par, pardec, encode_jobs,
+                             decode_jobs);
     return 0;
 }
 
@@ -680,6 +760,7 @@ int
 main(int argc, char **argv)
 {
     std::string bench_path;
+    std::string profile_path;
     int reps = 5;
     unsigned encode_jobs = 1;
     unsigned decode_jobs = 1;
@@ -690,6 +771,10 @@ main(int argc, char **argv)
             bench_path = a.substr(12);
         else if (a == "--bench-out" && i + 1 < argc)
             bench_path = argv[++i];
+        else if (a.rfind("--profile-out=", 0) == 0)
+            profile_path = a.substr(14);
+        else if (a == "--profile")
+            profile_path = "micro_codec.profile.json";
         else if (a.rfind("--bench-reps=", 0) == 0)
             reps = std::max(1, std::atoi(a.c_str() + 13));
         else if (a.rfind("--encode-jobs=", 0) == 0)
@@ -702,7 +787,8 @@ main(int argc, char **argv)
             rest.push_back(argv[i]);
     }
     if (!bench_path.empty())
-        return bench_out::run(bench_path, reps, encode_jobs, decode_jobs);
+        return bench_out::run(bench_path, reps, encode_jobs, decode_jobs,
+                              profile_path);
 
     int rest_argc = static_cast<int>(rest.size());
     benchmark::Initialize(&rest_argc, rest.data());

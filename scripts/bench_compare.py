@@ -3,12 +3,17 @@
 
 Usage:
     bench_compare.py OLD.json NEW.json [--threshold FRAC] [--report-only]
+                     [--section NAME]
 
-Compares results.<scheme>.words_per_sec between the two files. A scheme
-whose new throughput falls below (1 - threshold) * old throughput is a
-regression; a scheme present in OLD but missing from NEW is treated as
-one too. Exit codes: 0 = no regression (or --report-only), 1 =
-regression detected, 2 = malformed input.
+Compares <section>.<scheme> throughput between the two files (section
+defaults to `results`, comparing `words_per_sec`; `--section parallel`
+or `--section parallel_decode` compares the sharded axes on
+`words_per_sec_jobsN`). A scheme whose new throughput falls below
+(1 - threshold) * old throughput is a regression; a scheme present in
+OLD but missing from NEW is treated as one too. A file missing the
+requested section is malformed input and names the sections it does
+have — never a KeyError traceback. Exit codes: 0 = no regression (or
+--report-only), 1 = regression detected, 2 = malformed input.
 
 The default threshold (15%) is a noise floor, not a precision claim:
 single-machine medians wobble by several percent, so only sustained
@@ -24,25 +29,55 @@ import json
 import sys
 
 
-def load_results(path):
+# Per-scheme throughput key by section: the serial gate records
+# words_per_sec; the sharded axes record jobs1/jobsN pairs, of which
+# the jobsN number is the one a regression would move.
+METRIC_KEYS = ("words_per_sec", "words_per_sec_jobsN")
+
+
+def load_results(path, section):
     try:
         with open(path, "r", encoding="utf-8") as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    results = data.get("results")
+    if not isinstance(data, dict) or section not in data:
+        have = ", ".join(sorted(k for k, v in data.items()
+                                if isinstance(v, dict))) \
+            if isinstance(data, dict) else ""
+        print(f"bench_compare: {path} has no '{section}' section "
+              f"(sections present: {have or 'none'})", file=sys.stderr)
+        sys.exit(2)
+    results = data[section]
+    # The sharded sections nest the per-scheme map one level down:
+    # {"decode_jobs": N, "flows": F, "results": {...}}.
+    if isinstance(results, dict) and section != "results" and \
+            isinstance(results.get("results"), dict):
+        results = results["results"]
     if not isinstance(results, dict) or not results:
-        print(f"bench_compare: {path} has no 'results' object", file=sys.stderr)
+        print(f"bench_compare: {path}: '{section}' is not a non-empty "
+              f"object", file=sys.stderr)
         sys.exit(2)
     out = {}
     for scheme, entry in results.items():
-        wps = entry.get("words_per_sec") if isinstance(entry, dict) else None
+        if not isinstance(entry, dict):
+            continue  # section-level scalars like decode_jobs / flows
+        wps = None
+        for key in METRIC_KEYS:
+            if key in entry:
+                wps = entry[key]
+                break
         if not isinstance(wps, (int, float)) or wps <= 0:
-            print(f"bench_compare: {path}: bad words_per_sec for "
-                  f"'{scheme}'", file=sys.stderr)
+            print(f"bench_compare: {path}: no positive throughput "
+                  f"({' or '.join(METRIC_KEYS)}) for '{section}.{scheme}'",
+                  file=sys.stderr)
             sys.exit(2)
         out[scheme] = float(wps)
+    if not out:
+        print(f"bench_compare: {path}: '{section}' has no per-scheme "
+              f"entries", file=sys.stderr)
+        sys.exit(2)
     return out
 
 
@@ -56,13 +91,16 @@ def main(argv=None):
                          "(default 0.15 = 15%%)")
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
+    ap.add_argument("--section", default="results",
+                    help="JSON section to compare (default: results; "
+                         "also: parallel, parallel_decode)")
     args = ap.parse_args(argv)
     if not (0.0 <= args.threshold < 1.0):
         print("bench_compare: --threshold must be in [0, 1)", file=sys.stderr)
         return 2
 
-    old = load_results(args.old)
-    new = load_results(args.new)
+    old = load_results(args.old, args.section)
+    new = load_results(args.new, args.section)
 
     regressions = []
     width = max(len(s) for s in old) + 2

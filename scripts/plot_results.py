@@ -4,10 +4,17 @@
 Usage:
     for b in build/bench/*; do $b; done   # writes results/*.csv
     python3 scripts/plot_results.py [results_dir] [out_dir]
+    python3 scripts/plot_results.py --error-cdf QOR.json [out_dir]
 
-Produces one PNG per available figure CSV. Requires matplotlib.
+The default mode produces one PNG per available figure CSV and
+requires matplotlib. --error-cdf reads a qor.json error profile (or a
+harness qor report, whose "merged" profile is used) and renders the
+|relative error| CDF at log-bucket resolution: it always writes
+<stem>.cdf.csv (stdlib only, so CI can validate the mode without
+matplotlib) and adds <stem>.cdf.png when matplotlib is available.
 """
 import csv
+import json
 import os
 import sys
 
@@ -101,7 +108,76 @@ PLOTS = {
 }
 
 
+def error_cdf(qor_path, out):
+    """Render a qor.json profile as an |error| CDF (CSV, plus PNG when
+    matplotlib is importable)."""
+    try:
+        with open(qor_path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"plot_results: cannot read {qor_path}: {e}")
+    if data.get("schema") == "approxnoc-qor-report-v1":
+        prof = data.get("merged", {})
+    else:
+        prof = data
+    if prof.get("schema") != "approxnoc-qor-profile-v1":
+        sys.exit(f"plot_results: {qor_path} is not a qor profile/report")
+
+    total = prof["total"]["count"]
+    os.makedirs(out, exist_ok=True)
+    stem = os.path.splitext(os.path.basename(qor_path))[0]
+    csv_path = os.path.join(out, stem + ".cdf.csv")
+    # CDF sampled at the log-bucket edges: each row is the fraction of
+    # samples with |e| <= abs_rel_err. x=0 carries the exact words.
+    rows = []
+    if total > 0:
+        cum = prof["total"]["zero"]
+        rows.append((0.0, cum / total))
+        for b in prof["buckets"]:
+            rows.append((b["lo"], cum / total))
+            cum += b["count"]
+        rows.append((prof["total"]["max_abs"], cum / total))
+    with open(csv_path, "w", encoding="utf-8", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["abs_rel_err", "cdf"])
+        for x, y in rows:
+            w.writerow([f"{x:.17g}", f"{y:.6f}"])
+    print(f"wrote {csv_path} ({total} samples)")
+    if not rows:
+        print("no approximated words recorded — empty CDF")
+        return
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available — skipping PNG")
+        return
+    fig, ax = plt.subplots(figsize=(5, 3.2), dpi=150)
+    pos = [(x, y) for x, y in rows if x > 0.0]
+    if pos:
+        ax.semilogx([x for x, _ in pos], [y for _, y in pos],
+                    drawstyle="steps-post", linewidth=1.2)
+    ax.set_xlabel("|relative error|")
+    ax.set_ylabel("CDF")
+    ax.set_ylim(0.0, 1.02)
+    ax.set_title(f"QoR error CDF ({total} approximated words)")
+    ax.grid(True, which="both", alpha=0.3)
+    fig.tight_layout()
+    png = os.path.join(out, stem + ".cdf.png")
+    fig.savefig(png)
+    plt.close(fig)
+    print(f"wrote {png}")
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--error-cdf":
+        if len(sys.argv) < 3:
+            sys.exit("usage: plot_results.py --error-cdf QOR.json [out_dir]")
+        error_cdf(sys.argv[2],
+                  sys.argv[3] if len(sys.argv) > 3 else "results/plots")
+        return
     results = sys.argv[1] if len(sys.argv) > 1 else "results"
     out = sys.argv[2] if len(sys.argv) > 2 else "results/plots"
     try:

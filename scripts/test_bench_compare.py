@@ -17,12 +17,23 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "bench_compare.py")
 
 
-def bench_json(path, **words_per_sec):
+def bench_json(path, parallel_decode=None, **words_per_sec):
     data = {
         "schema": "approxnoc-micro-codec-bench-v1",
         "results": {s: {"words_per_sec": w, "ns_per_word": 1e9 / w}
                     for s, w in words_per_sec.items()},
     }
+    if parallel_decode is not None:
+        # Mirrors the real bench JSON: section-level scalars plus a
+        # nested per-scheme results map.
+        data["parallel_decode"] = {
+            "decode_jobs": 4,
+            "flows": 8,
+            "results": {s: {"words_per_sec_jobs1": w / 3,
+                            "words_per_sec_jobsN": w,
+                            "speedup": 3.0}
+                        for s, w in parallel_decode.items()},
+        }
     with open(path, "w", encoding="utf-8") as f:
         json.dump(data, f)
 
@@ -105,6 +116,48 @@ def main():
             json.dump({"results": {"a": {"words_per_sec": 0}}}, f)
         rc, out = run(old, bad_wps)
         check("bad-words-per-sec", rc, 2, out)
+
+        # --section parallel_decode compares the sharded axis on
+        # words_per_sec_jobsN.
+        par_old = os.path.join(d, "par_old.json")
+        bench_json(par_old, baseline=1e8,
+                   parallel_decode={"di_vaxx": 3e7, "fp_vaxx": 5e7})
+        par_same = os.path.join(d, "par_same.json")
+        bench_json(par_same, baseline=1e8,
+                   parallel_decode={"di_vaxx": 3e7, "fp_vaxx": 5e7})
+        rc, out = run(par_old, par_same, "--section", "parallel_decode")
+        check("section-identical", rc, 0, out)
+
+        par_slow = os.path.join(d, "par_slow.json")
+        bench_json(par_slow, baseline=1e8,
+                   parallel_decode={"di_vaxx": 1e7, "fp_vaxx": 5e7})
+        rc, out = run(par_old, par_slow, "--section", "parallel_decode")
+        check("section-regression", rc, 1, out)
+
+        # A candidate missing the requested section is malformed input
+        # with a clear message — never a KeyError traceback.
+        rc, out = run(par_old, same, "--section", "parallel_decode")
+        check("section-missing-candidate", rc, 2, out)
+        if "parallel_decode" not in out or "Traceback" in out:
+            failures.append(
+                f"section-missing-candidate: want clear message naming "
+                f"parallel_decode, no traceback\n{out}")
+
+        # Same for a baseline missing the section.
+        rc, out = run(same, par_old, "--section", "parallel_decode")
+        check("section-missing-baseline", rc, 2, out)
+        if "parallel_decode" not in out or "Traceback" in out:
+            failures.append(
+                f"section-missing-baseline: want clear message naming "
+                f"parallel_decode, no traceback\n{out}")
+
+        # An unknown section name reports what the file does contain.
+        rc, out = run(par_old, par_same, "--section", "nonsense")
+        check("section-unknown", rc, 2, out)
+        if "results" not in out:
+            failures.append(
+                f"section-unknown: message should list present sections\n"
+                f"{out}")
 
     if failures:
         print("\n".join(failures), file=sys.stderr)

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/bits.h"
+#include "common/relative_error.h"
 
 namespace approxnoc {
 
@@ -49,40 +50,11 @@ avcl_analyze(const ErrorModel &model, Word w, DataType t)
 double
 avcl_relative_error(Word w, Word candidate, DataType t)
 {
-    if (w == candidate)
-        return 0.0;
-    switch (t) {
-      case DataType::Int32: {
-        double p = static_cast<double>(static_cast<std::int32_t>(w));
-        double a = static_cast<double>(static_cast<std::int32_t>(candidate));
-        return p == 0.0 ? 1.0 : std::fabs(a - p) / std::fabs(p);
-      }
-      case DataType::Float32: {
-        if (Float32Fields::isSpecial(w))
-            return 1.0; // specials must never be substituted
-        double sig = static_cast<double>(
-            (1ull << Float32Fields::kMantissaBits) |
-            Float32Fields::mantissa(w));
-        double sig_c = static_cast<double>(
-            (1ull << Float32Fields::kMantissaBits) |
-            Float32Fields::mantissa(candidate));
-        if (Float32Fields::exponent(w) != Float32Fields::exponent(candidate) ||
-            Float32Fields::sign(w) != Float32Fields::sign(candidate)) {
-            // Exponent/sign changed: compute on the actual values.
-            float fw, fc;
-            static_assert(sizeof(fw) == sizeof(w));
-            std::memcpy(&fw, &w, sizeof(fw));
-            std::memcpy(&fc, &candidate, sizeof(fc));
-            return fw == 0.0f ? 1.0
-                              : std::fabs((double)fc - (double)fw) /
-                                    std::fabs((double)fw);
-        }
-        return std::fabs(sig_c - sig) / sig;
-      }
-      case DataType::Raw:
-        return 1.0;
-    }
-    return 1.0;
+    // The admission check only cares about the magnitude; the signed
+    // value feeds the QoR error telemetry. Folding fabs over the
+    // signed error is bit-identical to the historical formula (IEEE
+    // division computes sign and magnitude independently).
+    return std::fabs(signed_relative_error(w, candidate, t));
 }
 
 ApproxDecision

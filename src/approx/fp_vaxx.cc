@@ -12,7 +12,7 @@ constexpr std::size_t kMaxHoistedWords = 64;
 } // namespace
 
 EncodedBlock
-FpVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
+FpVaxxCodec::encode(const DataBlock &block, NodeId src, NodeId dst, Cycle)
 {
     noteEncoded(block.size());
     const bool approximable = block.approximable() &&
@@ -33,7 +33,7 @@ FpVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
                                    return d.dont_care_bits;
                                })
             : fpc_encode_block(block, [](std::size_t) { return 0u; });
-    noteBlockEncoded(enc);
+    noteBlockEncoded(enc, block, src, dst);
     return enc;
 }
 
@@ -61,7 +61,7 @@ FpVaxxCodec::encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
     }
     EncodedBlock enc =
         fpc_encode_block(block, [&](std::size_t i) { return k[i]; });
-    noteBlockEncoded(enc);
+    noteBlockEncoded(enc, block, src, dst);
     return enc;
 }
 

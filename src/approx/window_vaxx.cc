@@ -8,7 +8,7 @@
 namespace approxnoc {
 
 EncodedBlock
-WindowVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
+WindowVaxxCodec::encode(const DataBlock &block, NodeId src, NodeId dst, Cycle)
 {
     noteEncoded(block.size());
     const bool approx_ok = block.approximable() &&
@@ -66,7 +66,7 @@ WindowVaxxCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
     EncodedBlock enc = fpc_encode_block(
         block, [&](std::size_t i) { return ks[i]; });
     last_spent_ = spent;
-    noteBlockEncoded(enc);
+    noteBlockEncoded(enc, block, src, dst);
     return enc;
 }
 

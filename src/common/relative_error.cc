@@ -1,0 +1,56 @@
+#include "common/relative_error.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace approxnoc {
+
+double
+signed_relative_error(Word w, Word candidate, DataType t)
+{
+    if (w == candidate)
+        return 0.0;
+    switch (t) {
+      case DataType::Int32: {
+        double p = static_cast<double>(static_cast<std::int32_t>(w));
+        double a = static_cast<double>(static_cast<std::int32_t>(candidate));
+        if (p == 0.0)
+            return a > 0.0 ? 1.0 : -1.0;
+        return (a - p) / std::fabs(p);
+      }
+      case DataType::Float32: {
+        if (Float32Fields::isSpecial(w))
+            return 1.0; // specials must never be substituted
+        double sig = static_cast<double>(
+            (1ull << Float32Fields::kMantissaBits) |
+            Float32Fields::mantissa(w));
+        double sig_c = static_cast<double>(
+            (1ull << Float32Fields::kMantissaBits) |
+            Float32Fields::mantissa(candidate));
+        if (Float32Fields::exponent(w) != Float32Fields::exponent(candidate) ||
+            Float32Fields::sign(w) != Float32Fields::sign(candidate)) {
+            // Exponent/sign changed: compute on the actual values.
+            float fw, fc;
+            static_assert(sizeof(fw) == sizeof(w));
+            std::memcpy(&fw, &w, sizeof(fw));
+            std::memcpy(&fc, &candidate, sizeof(fc));
+            if (fw == 0.0f)
+                return fc > 0.0f ? 1.0 : -1.0;
+            return (static_cast<double>(fc) - static_cast<double>(fw)) /
+                   std::fabs(static_cast<double>(fw));
+        }
+        // Same exponent and sign: the scaled-significand delta. The
+        // significand comparison is magnitude-space, so flip the sign
+        // for negative floats to keep "candidate overshoots" positive.
+        double e = (sig_c - sig) / sig;
+        return Float32Fields::sign(w) ? -e : e;
+      }
+      case DataType::Raw:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+} // namespace approxnoc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Signed per-word relative error between a precise word and an
+ * approximation candidate. This is the single definition of "relative
+ * error" shared by the AVCL admission check (which only needs the
+ * magnitude) and the QoR error telemetry (which keeps the sign so
+ * over- and under-approximation are distinguishable in the profile).
+ *
+ * The magnitude contract is exact: for every input,
+ * `std::fabs(signed_relative_error(w, c, t))` is bit-identical to the
+ * historical `avcl_relative_error(w, c, t)` — IEEE-754 division
+ * computes the sign separately from the magnitude, so folding the sign
+ * into the numerator cannot perturb a single mantissa bit. The AVCL
+ * threshold comparisons therefore approximate exactly the same words
+ * before and after this refactor.
+ */
+#ifndef APPROXNOC_COMMON_RELATIVE_ERROR_H
+#define APPROXNOC_COMMON_RELATIVE_ERROR_H
+
+#include "common/types.h"
+
+namespace approxnoc {
+
+/**
+ * Relative error of @p candidate w.r.t. the precise word @p w under
+ * data type @p t, signed: positive when the candidate overshoots the
+ * precise value, negative when it undershoots.
+ *
+ * Conventions (matching the unsigned version this generalizes):
+ * - equal bits are error 0;
+ * - Int32: (c - w) / |w|; a zero precise word yields ±1 by direction;
+ * - Float32: specials (zero/denormal/inf/NaN) must never be
+ *   substituted and count as +1; same exponent+sign compares scaled
+ *   significands, otherwise the actual float values are compared;
+ * - Raw data has no value semantics: any flip counts as +1.
+ */
+double signed_relative_error(Word w, Word candidate, DataType t);
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_COMMON_RELATIVE_ERROR_H

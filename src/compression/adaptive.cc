@@ -88,6 +88,13 @@ AdaptiveCodec::decode(const EncodedBlock &enc, NodeId src, NodeId dst,
     return inner_->decode(enc, src, dst, now);
 }
 
+void
+AdaptiveCodec::bindProfiler(telemetry::PhaseProfiler *prof)
+{
+    CodecSystem::bindProfiler(prof);
+    inner_->bindProfiler(prof);
+}
+
 bool
 AdaptiveCodec::compressionEnabled(NodeId src) const
 {

@@ -71,19 +71,6 @@ class AdaptiveCodec : public CodecSystem
     {
         return inner_->drainNotifications(dst);
     }
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    /** @deprecated Forwards the deprecated global drain (see codec.h). */
-    std::vector<Notification>
-    drainNotifications() override
-    {
-        return inner_->drainNotifications();
-    }
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
     CodecActivity activity() const override { return inner_->activity(); }
     std::uint64_t
     consistencyMismatches() const override
@@ -104,6 +91,17 @@ class AdaptiveCodec : public CodecSystem
         CodecSystem::bindCounters(c);
         inner_->bindCounters(c);
     }
+
+    /** Inner codec only: bypassed blocks are bit-exact by definition,
+     * so only delegated (possibly approximating) encodes record QoR. */
+    void
+    bindErrorProfile(telemetry::ErrorProfile *qor) override
+    {
+        inner_->bindErrorProfile(qor);
+    }
+
+    /** Both layers: the inner codec owns the apply-pending phase. */
+    void bindProfiler(telemetry::PhaseProfiler *prof) override;
 
     CodecSystem &inner() { return *inner_; }
 

@@ -20,6 +20,11 @@
 
 namespace approxnoc {
 
+namespace telemetry {
+class ErrorProfile;
+class PhaseProfiler;
+} // namespace telemetry
+
 class EncodedBlock;
 
 /** Default codec pipeline latencies (paper Sec. 4.3, after [12]). */
@@ -210,19 +215,6 @@ class CodecSystem
     }
 
     /**
-     * @deprecated Global drain, superseded by the per-destination
-     * overload above. Returns every queued notification grouped by
-     * destination (ascending node id), each group in @c seq order —
-     * NOT the historical cross-destination emission order, which no
-     * longer exists under sharded decode. Shimmed for one PR; migrate
-     * to drainNotifications(dst).
-     */
-    [[deprecated("use drainNotifications(NodeId dst); the global queue "
-                 "is gone — this shim drains every destination in node "
-                 "order")]]
-    virtual std::vector<Notification> drainNotifications() { return {}; }
-
-    /**
      * Decoder-vs-encoder expectation mismatches observed so far.
      * Nonzero indicates a dictionary-consistency protocol violation.
      */
@@ -249,6 +241,25 @@ class CodecSystem
      * block — nothing per word. Wrappers forward to their inner codec.
      */
     virtual void bindCounters(const CodecCounters &c) { counters_ = c; }
+
+    /**
+     * Bind the QoR error profile the encode path records per-word
+     * signed relative errors into at approximation time. Null (the
+     * default) costs one predicted branch per *approximated* block —
+     * exact blocks never reach the recording walk. Wrappers forward
+     * to their inner codec.
+     */
+    virtual void bindErrorProfile(telemetry::ErrorProfile *qor)
+    {
+        qor_ = qor;
+    }
+
+    /**
+     * Bind the self-profiler. The base registers the shared
+     * `codec.apply_pending` phase that the dictionary schemes time
+     * their deferred-update merge under; wrappers forward.
+     */
+    virtual void bindProfiler(telemetry::PhaseProfiler *prof);
 
   protected:
     /** Bump the consistency-mismatch counter (decoders call this). */
@@ -278,6 +289,22 @@ class CodecSystem
         counters_.bits_out->inc(enc.bits());
     }
 
+    /**
+     * QoR-aware variant: the counter record above plus, when an error
+     * profile is bound and the block was actually approximated, one
+     * signed relative-error sample per changed word on flow
+     * @p src -> @p dst. Approximating encode paths call this; exact
+     * paths (baseline, FPC, raw fallbacks) keep the 1-arg form.
+     */
+    void
+    noteBlockEncoded(const EncodedBlock &enc, const DataBlock &precise,
+                     NodeId src, NodeId dst)
+    {
+        noteBlockEncoded(enc);
+        if (qor_ && enc.approximatedWords() > 0)
+            recordQoR(precise, enc, src, dst);
+    }
+
     /** Decode-side telemetry record; no-op when counters are unbound. */
     void
     noteBlockDecoded()
@@ -290,7 +317,17 @@ class CodecSystem
     std::uint64_t wordsEncoded() const { return words_encoded_; }
     std::uint64_t wordsDecoded() const { return words_decoded_; }
 
+    /** The bound self-profiler (null when profiling is off). */
+    telemetry::PhaseProfiler *profiler() const { return profiler_; }
+    /** Phase id for the dictionary deferred-update merge. */
+    std::size_t applyPendingPhase() const { return apply_pending_phase_; }
+
   private:
+    /** Walk @p enc against the precise block and record every
+     * approximation-changed word's signed relative error. */
+    void recordQoR(const DataBlock &precise, const EncodedBlock &enc,
+                   NodeId src, NodeId dst);
+
     /** Relaxed-atomic: bookkeeping shared by every source (encode
      * side) and every destination (decode side). Sums commute, so
      * parallel per-flow encode shards and per-destination decode
@@ -300,6 +337,9 @@ class CodecSystem
     RelaxedCounter words_encoded_;
     RelaxedCounter words_decoded_;
     CodecCounters counters_;
+    telemetry::ErrorProfile *qor_ = nullptr;
+    telemetry::PhaseProfiler *profiler_ = nullptr;
+    std::size_t apply_pending_phase_ = 0;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/log.h"
+#include "telemetry/phase_profiler.h"
 
 namespace approxnoc {
 
@@ -52,7 +53,8 @@ DictionaryCodecBase::preloadEncoders()
 }
 
 EncodedBlock
-DictionaryCodecBase::finishEncoded(EncodedBlock enc, const DataBlock &block)
+DictionaryCodecBase::finishEncoded(EncodedBlock enc, const DataBlock &block,
+                                   NodeId src, NodeId dst)
 {
     enc.setMeta(block.type(), block.approximable());
 
@@ -62,7 +64,7 @@ DictionaryCodecBase::finishEncoded(EncodedBlock enc, const DataBlock &block)
     if (enc.bits() > block.sizeBits() && block.size() > 0)
         enc = raw_encoded_block(block,
                                 static_cast<std::uint8_t>(DiWordKind::Raw));
-    noteBlockEncoded(enc);
+    noteBlockEncoded(enc, block, src, dst);
     return enc;
 }
 
@@ -77,7 +79,7 @@ DictionaryCodecBase::encode(const DataBlock &block, NodeId src, NodeId dst,
     EncodedBlock enc;
     for (std::size_t i = 0; i < block.size(); ++i)
         enc.append(encodeWord(block.word(i), block, src, dst));
-    return finishEncoded(std::move(enc), block);
+    return finishEncoded(std::move(enc), block, src, dst);
 }
 
 EncodedBlock
@@ -90,7 +92,7 @@ DictionaryCodecBase::encodeBlock(const DataBlock &block, NodeId src,
     noteEncoded(block.size());
     EncodedBlock enc;
     encodeSpan(block, src, dst, enc);
-    return finishEncoded(std::move(enc), block);
+    return finishEncoded(std::move(enc), block, src, dst);
 }
 
 void
@@ -250,6 +252,9 @@ DictionaryCodecBase::applyPending(NodeId enc, Cycle now)
 {
     if (pending_count_[enc].load() == 0)
         return;
+    // Timed only once the occupancy gate has passed: the empty-FIFO
+    // early-out above stays a single relaxed load per encode.
+    telemetry::PhaseProfiler::Scope prof(profiler(), applyPendingPhase());
     auto &chans = pending_[enc];
     for (;;) {
         // Earliest due update across channels; ties on the apply
@@ -282,21 +287,6 @@ DictionaryCodecBase::drainNotifications(NodeId dst)
     ANOC_ASSERT(dst < cfg_.n_nodes, "node id out of range in drain");
     std::vector<Notification> out;
     out.swap(decoders_[dst].notify_queue);
-    return out;
-}
-
-std::vector<CodecSystem::Notification>
-DictionaryCodecBase::drainNotifications()
-{
-    // Deprecated shim: every destination in node order, each in seq
-    // order. The historical cross-destination emission order is gone
-    // — it was an artifact of the global queue serialized decode
-    // implied.
-    std::vector<Notification> out;
-    for (NodeId d = 0; d < cfg_.n_nodes; ++d) {
-        auto q = drainNotifications(d);
-        out.insert(out.end(), q.begin(), q.end());
-    }
     return out;
 }
 

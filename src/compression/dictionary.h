@@ -98,10 +98,6 @@ class DictionaryCodecBase : public CodecSystem
 
     std::vector<Notification> drainNotifications(NodeId dst) override;
 
-    /** @deprecated Shim: drains every destination in node order. */
-    [[deprecated("use drainNotifications(NodeId dst)")]]
-    std::vector<Notification> drainNotifications() override;
-
     std::uint8_t
     rawKind() const override
     {
@@ -198,8 +194,9 @@ class DictionaryCodecBase : public CodecSystem
 
   private:
     /** Shared encode tail: meta, incompressible-block fallback (after
-     * Das et al. [12]), per-block telemetry. */
-    EncodedBlock finishEncoded(EncodedBlock enc, const DataBlock &block);
+     * Das et al. [12]), per-block telemetry + QoR error recording. */
+    EncodedBlock finishEncoded(EncodedBlock enc, const DataBlock &block,
+                               NodeId src, NodeId dst);
 
     /** Decoder-side learning on an uncompressed word from @p src. */
     void learn(Word w, DataType type, NodeId src, NodeId dst, Cycle now);

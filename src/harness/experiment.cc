@@ -7,6 +7,7 @@
 #include "common/cli.h"
 #include "common/log.h"
 #include "core/codec_factory.h"
+#include "harness/report.h"
 #include "workloads/workload.h"
 
 namespace approxnoc::harness {
@@ -193,6 +194,13 @@ ExperimentSpec::Builder::sampleInterval(Cycle n)
 }
 
 ExperimentSpec::Builder &
+ExperimentSpec::Builder::profile(bool v)
+{
+    cfg_.profile = v;
+    return *this;
+}
+
+ExperimentSpec::Builder &
 ExperimentSpec::Builder::verbose(bool v)
 {
     cfg_.verbose = v;
@@ -236,6 +244,7 @@ ExperimentSpec::Builder::fromCli(int argc, char **argv, const std::string &what)
             "  --metrics-out=<dir>               per-point + merged metrics JSON\n"
             "  --trace-out=<dir>                 Chrome trace-event JSON per point\n"
             "  --sample-interval=<cycles>        time-series epoch, 0=off (0)\n"
+            "  --profile                         phase self-profiling + profile.json\n"
             "  --progress                        per-point progress on stderr\n"
             "  --verbose                         chatty logging\n",
             what.c_str());
@@ -259,6 +268,7 @@ ExperimentSpec::Builder::fromCli(int argc, char **argv, const std::string &what)
     cfg_.trace_dir = args.getString("trace-out", "");
     cfg_.sample_interval =
         static_cast<Cycle>(args.getInt("sample-interval", 0));
+    cfg_.profile = args.getBool("profile", false);
     cfg_.progress = args.getBool("progress", false);
     cfg_.verbose = args.getBool("verbose", false);
     set_verbose(cfg_.verbose);
@@ -401,6 +411,25 @@ Experiment::run(const PointFn &fn)
         }
         telemetry::write_merged_metrics(cfg.metrics_dir, "metrics.json",
                                         parts);
+
+        // Same spec-order discipline for the sweep-level QoR report:
+        // ErrorProfile::merge commutes, so qor.json is byte-identical
+        // at any --jobs. profile.json is wall-clock and exempt.
+        QorParts qor;
+        ProfileParts prof;
+        qor.reserve(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const PointResult &pr = sink_->at(i);
+            const std::string label = telemetry::PointTelemetry::pointLabel(
+                points[i].index, points[i].benchmark,
+                to_string(points[i].scheme));
+            qor.emplace_back(label, pr.ok ? pr.replay.qor : nullptr);
+            if (cfg.profile)
+                prof.emplace_back(label, pr.ok ? pr.replay.profile : nullptr);
+        }
+        write_qor_report(cfg.metrics_dir, qor);
+        if (cfg.profile)
+            write_profile_report(cfg.metrics_dir, prof);
     }
     return *sink_;
 }

@@ -43,6 +43,10 @@ struct ExperimentConfig {
     Cycle sample_interval = 0; ///< time-series epoch length, 0 = off
     ///@}
 
+    /** Self-profiling (`--profile`): per-point phase timers plus, with
+     * metrics enabled, per-point and merged profile.json artifacts. */
+    bool profile = false;
+
     bool verbose = false;
     bool progress = false; ///< per-point progress lines on stderr
 };
@@ -98,6 +102,7 @@ class ExperimentSpec
         Builder &metricsDir(std::string dir);
         Builder &traceDir(std::string dir);
         Builder &sampleInterval(Cycle n);
+        Builder &profile(bool v);
         Builder &verbose(bool v);
         Builder &progress(bool v);
 

@@ -9,6 +9,8 @@
 #include "noc/network.h"
 #include "power/power_model.h"
 #include "sim/simulator.h"
+#include "telemetry/error_profile.h"
+#include "telemetry/phase_profiler.h"
 #include "traffic/replay.h"
 
 namespace approxnoc::harness {
@@ -29,6 +31,26 @@ run_replay(const CommTrace &trace, const ReplayJob &job)
     Network net(ncfg, codec.get());
     Simulator sim;
     net.attach(sim);
+
+    // QoR error telemetry is always on: recording costs one uncontended
+    // mutex lock per approximated block, and the figure executors need
+    // the mean/worst-case relative error even without --metrics-out.
+    // The debug limit arms the ErrorProfile assertion: no recorded
+    // relative error may exceed the configured threshold by more than
+    // the codec overshoot slack (WindowVaxx's per-word budget cap and
+    // the TCAM don't-care rounding both legitimately land above e%).
+    auto qor = std::make_shared<telemetry::ErrorProfile>();
+    if (job.threshold > 0)
+        qor->setDebugLimit(job.threshold / 100.0 *
+                           telemetry::ErrorProfile::kDebugSlack);
+    net.bindErrorProfile(qor.get());
+
+    std::shared_ptr<telemetry::PhaseProfiler> prof;
+    if (job.profile) {
+        prof = std::make_shared<telemetry::PhaseProfiler>();
+        sim.bindProfiler(prof.get());
+        net.bindProfiler(prof.get());
+    }
 
     // Telemetry bundle, owned by this point alone (lock-free). The
     // sampler joins the simulator after the network components so each
@@ -97,9 +119,24 @@ run_replay(const CommTrace &trace, const ReplayJob &job)
         }
         net.collectTelemetry(*pt->metrics());
         pt->metrics()->counter("sim.elapsed_cycles").inc(sim.now());
+        qor->exportTo(*pt->metrics(),
+                      "qor." + telemetry::sanitize_component(
+                                   to_string(job.scheme)));
         pt->write();
         r.metrics = pt->metrics();
+        if (job.telemetry.metricsEnabled()) {
+            telemetry::write_json_artifact(
+                job.telemetry.metrics_dir, job.telemetry.label + ".qor.json",
+                [&](std::ostream &os) { qor->writeJson(os); });
+            if (prof)
+                telemetry::write_json_artifact(
+                    job.telemetry.metrics_dir,
+                    job.telemetry.label + ".profile.json",
+                    [&](std::ostream &os) { prof->writeJson(os); });
+        }
     }
+    r.qor = qor;
+    r.profile = prof;
     return r;
 }
 
@@ -114,6 +151,7 @@ run_replay_point(const CommTrace &trace, const ExperimentPoint &pt,
     job.load = pt.load;
     job.max_records = cfg.max_records;
     job.seed = pt.seed;
+    job.profile = cfg.profile;
 
     // Per-point artifact identity derives from the spec coordinates,
     // never from which worker ran the point, so --jobs=N runs produce

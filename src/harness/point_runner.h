@@ -16,6 +16,11 @@
 #include "telemetry/telemetry.h"
 #include "traffic/trace.h"
 
+namespace approxnoc::telemetry {
+class ErrorProfile;
+class PhaseProfiler;
+} // namespace approxnoc::telemetry
+
 namespace approxnoc::harness {
 
 struct ExperimentConfig;
@@ -43,6 +48,18 @@ struct ReplayResult {
      * sweep — byte-identical merged output at any --jobs.
      */
     std::shared_ptr<const telemetry::MetricRegistry> metrics;
+
+    /**
+     * The point's QoR error profile — always present: one signed
+     * relative error per approximated word, recorded at encode time.
+     * Immutable once the point completes; the harness merges the
+     * per-point profiles in spec order for the sweep-level qor.json.
+     */
+    std::shared_ptr<const telemetry::ErrorProfile> qor;
+
+    /** Phase timings, null unless the job ran with profile = true.
+     * Wall-clock — outside the byte-identical determinism contract. */
+    std::shared_ptr<const telemetry::PhaseProfiler> profile;
 };
 
 /**
@@ -61,6 +78,10 @@ struct ReplayJob {
 
     /** Telemetry collection; default-constructed = everything off. */
     telemetry::TelemetryOptions telemetry;
+
+    /** Self-profiling: time the simulator/codec phases and (with
+     * metrics enabled) write `<label>.profile.json`. */
+    bool profile = false;
 };
 
 /**

@@ -4,6 +4,10 @@
 #include <filesystem>
 #include <iostream>
 
+#include "telemetry/error_profile.h"
+#include "telemetry/phase_profiler.h"
+#include "telemetry/telemetry.h"
+
 namespace approxnoc::harness {
 
 void
@@ -40,6 +44,60 @@ print_banner(const std::string &figure, const ExperimentSpec &spec)
     std::printf("        %zu grid points, %u worker thread%s\n\n",
                 spec.size(), resolve_jobs(cfg.jobs),
                 resolve_jobs(cfg.jobs) == 1 ? "" : "s");
+}
+
+bool
+write_qor_report(const std::string &dir, const QorParts &parts)
+{
+    telemetry::ErrorProfile merged;
+    for (const auto &[label, qor] : parts)
+        if (qor)
+            merged.merge(*qor);
+    return telemetry::write_json_artifact(
+        dir, "qor.json", [&](std::ostream &os) {
+            os << "{\n\"schema\": \"approxnoc-qor-report-v1\",\n";
+            os << "\"points\": {";
+            bool first = true;
+            for (const auto &[label, qor] : parts) {
+                if (!qor)
+                    continue;
+                if (!first)
+                    os << ",";
+                first = false;
+                os << "\n\"" << label << "\": ";
+                qor->writeJson(os);
+            }
+            os << (first ? "" : "\n") << "},\n\"merged\": ";
+            merged.writeJson(os);
+            os << "}\n";
+        });
+}
+
+bool
+write_profile_report(const std::string &dir, const ProfileParts &parts)
+{
+    telemetry::PhaseProfiler merged;
+    for (const auto &[label, prof] : parts)
+        if (prof)
+            merged.merge(*prof);
+    return telemetry::write_json_artifact(
+        dir, "profile.json", [&](std::ostream &os) {
+            os << "{\n\"schema\": \"approxnoc-profile-report-v1\",\n";
+            os << "\"points\": {";
+            bool first = true;
+            for (const auto &[label, prof] : parts) {
+                if (!prof)
+                    continue;
+                if (!first)
+                    os << ",";
+                first = false;
+                os << "\n\"" << label << "\": ";
+                prof->writeJson(os);
+            }
+            os << (first ? "" : "\n") << "},\n\"merged\": ";
+            merged.writeJson(os);
+            os << "}\n";
+        });
 }
 
 } // namespace approxnoc::harness

@@ -6,12 +6,21 @@
 #ifndef APPROXNOC_HARNESS_REPORT_H
 #define APPROXNOC_HARNESS_REPORT_H
 
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 #include "harness/experiment.h"
 
 namespace approxnoc::harness {
+
+/** (point label, per-point profile) pairs, in spec order. */
+using QorParts = std::vector<
+    std::pair<std::string, std::shared_ptr<const telemetry::ErrorProfile>>>;
+using ProfileParts = std::vector<
+    std::pair<std::string, std::shared_ptr<const telemetry::PhaseProfiler>>>;
 
 /**
  * Print @p t and write `<csv_dir>/<name>.csv` plus
@@ -22,6 +31,23 @@ void emit_table(const Table &t, const ExperimentConfig &cfg,
 
 /** Print the Table-1 style banner every harness binary emits. */
 void print_banner(const std::string &figure, const ExperimentSpec &spec);
+
+/**
+ * Write `<dir>/qor.json`: every point's QoR error profile plus the
+ * spec-order merge of all of them. Null profiles (failed points) are
+ * skipped. ErrorProfile::merge is order-independent, so the file is
+ * byte-identical at any --jobs setting. Best effort like the other
+ * telemetry artifacts; returns false when the file cannot be written.
+ */
+bool write_qor_report(const std::string &dir, const QorParts &parts);
+
+/**
+ * Write `<dir>/profile.json`: every point's phase timings plus their
+ * by-name merge. Wall-clock derived — outside the byte-identical
+ * determinism contract (unlike qor.json/metrics.json).
+ */
+bool write_profile_report(const std::string &dir,
+                          const ProfileParts &parts);
 
 } // namespace approxnoc::harness
 

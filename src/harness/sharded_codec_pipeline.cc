@@ -1,5 +1,7 @@
 #include "harness/sharded_codec_pipeline.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -8,6 +10,17 @@
 
 namespace approxnoc::harness {
 namespace {
+
+using profile_clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsed_ns(profile_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            profile_clock::now() - t0)
+            .count());
+}
 
 /**
  * The shared shard-map / submission-index-merge / first-failing-shard
@@ -23,8 +36,8 @@ namespace {
 template <typename Req, typename Out, typename KeyFn, typename OpFn>
 std::vector<Out>
 shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
-            std::size_t &last_shards, const char *what, const char *key_name,
-            KeyFn key, OpFn op)
+            std::size_t &last_shards, ShardStats *stats, const char *what,
+            const char *key_name, KeyFn key, OpFn op)
 {
     std::vector<Out> out(reqs.size());
 
@@ -44,15 +57,56 @@ shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
     // byte-for-byte (tests/test_parallel_encode.cc and
     // tests/test_parallel_decode.cc pin it down).
     if (runner.jobs() <= 1 || shards.size() <= 1) {
+        if (!stats) {
+            for (std::size_t i = 0; i < reqs.size(); ++i)
+                out[i] = op(reqs[i]);
+            return out;
+        }
+        // The serial reference path genuinely runs as one unit of
+        // work, so it is accounted as a single shard slot.
+        const auto t0 = profile_clock::now();
         for (std::size_t i = 0; i < reqs.size(); ++i)
             out[i] = op(reqs[i]);
+        const std::uint64_t ns = elapsed_ns(t0);
+        ++stats->batches;
+        stats->blocks += reqs.size();
+        stats->shard_slots += 1;
+        stats->busy_ns += ns;
+        stats->max_busy_ns += ns;
+        stats->wall_ns += ns;
         return out;
     }
 
+    // Workers write disjoint busy[s] slots; the main thread folds them
+    // into the cumulative stats only after runner.run() joined.
+    std::vector<std::uint64_t> busy(stats ? shards.size() : 0, 0);
+    const auto batch0 = profile_clock::now();
     auto statuses = runner.run(shards.size(), [&](std::size_t s) {
+        if (!stats) {
+            for (std::size_t i : shards[s])
+                out[i] = op(reqs[i]);
+            return;
+        }
+        const auto t0 = profile_clock::now();
         for (std::size_t i : shards[s])
             out[i] = op(reqs[i]);
+        busy[s] = elapsed_ns(t0);
     });
+    if (stats) {
+        const std::uint64_t wall = elapsed_ns(batch0);
+        std::uint64_t sum = 0, mx = 0;
+        for (std::uint64_t b : busy) {
+            sum += b;
+            mx = std::max(mx, b);
+        }
+        ++stats->batches;
+        stats->blocks += reqs.size();
+        stats->shard_slots += shards.size();
+        stats->busy_ns += sum;
+        stats->max_busy_ns += mx;
+        stats->wall_ns += wall;
+        stats->merge_wait_ns += wall > mx ? wall - mx : 0;
+    }
     for (std::size_t s = 0; s < statuses.size(); ++s) {
         if (!statuses[s].ok)
             throw std::runtime_error(
@@ -73,7 +127,8 @@ std::vector<EncodedBlock>
 FlowShardedEncoder::encodeAll(const std::vector<EncodeRequest> &reqs)
 {
     return shard_apply<EncodeRequest, EncodedBlock>(
-        reqs, runner_, last_shards_, "flow-sharded encode", "src",
+        reqs, runner_, last_shards_, profiling_ ? &stats_ : nullptr,
+        "flow-sharded encode", "src",
         [](const EncodeRequest &r) {
             ANOC_ASSERT(r.block != nullptr, "encode request without a block");
             return r.src;
@@ -91,7 +146,8 @@ std::vector<DataBlock>
 FlowShardedDecoder::decodeAll(const std::vector<DecodeRequest> &reqs)
 {
     return shard_apply<DecodeRequest, DataBlock>(
-        reqs, runner_, last_shards_, "flow-sharded decode", "dst",
+        reqs, runner_, last_shards_, profiling_ ? &stats_ : nullptr,
+        "flow-sharded decode", "dst",
         [](const DecodeRequest &r) {
             ANOC_ASSERT(r.enc != nullptr, "decode request without a block");
             return r.dst;

@@ -34,6 +34,7 @@
 #define APPROXNOC_HARNESS_SHARDED_CODEC_PIPELINE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/data_block.h"
@@ -51,6 +52,62 @@ struct EncodeRequest {
     NodeId src = 0;
     NodeId dst = 0;
     Cycle now = 0;
+};
+
+/**
+ * Cumulative self-profiling counters for one sharded direction,
+ * accumulated across batches while profiling is enabled (see
+ * FlowShardedEncoder::setProfiling). Wall-clock derived — explicitly
+ * outside the byte-identical determinism contract, like every other
+ * `profile` artifact.
+ *
+ * The serial reference path (jobs <= 1 or a single shard) counts as
+ * one shard slot per batch: it genuinely runs as one unit of work.
+ */
+struct ShardStats {
+    std::uint64_t batches = 0;     ///< encodeAll()/decodeAll() calls
+    std::uint64_t blocks = 0;      ///< total requests processed
+    std::uint64_t shard_slots = 0; ///< sum of shards over batches
+    std::uint64_t busy_ns = 0;     ///< sum of per-shard busy time
+    std::uint64_t max_busy_ns = 0; ///< sum of per-batch slowest shard
+    std::uint64_t wall_ns = 0;     ///< sum of per-batch wall time
+    /** Sum of (wall - slowest shard) per batch: time spent joining the
+     * pool and merging after the last shard retired. */
+    std::uint64_t merge_wait_ns = 0;
+
+    /** Mean blocks per batch. */
+    double
+    meanBatchSize() const
+    {
+        return batches ? static_cast<double>(blocks) / batches : 0.0;
+    }
+
+    /**
+     * Load-imbalance ratio: summed slowest-shard time over the mean
+     * per-shard busy time. 1.0 is perfectly balanced; S means the
+     * slowest shard carried an S-shard batch alone.
+     */
+    double
+    imbalance() const
+    {
+        if (busy_ns == 0 || shard_slots == 0)
+            return 1.0;
+        const double mean_busy =
+            static_cast<double>(busy_ns) / shard_slots;
+        return static_cast<double>(max_busy_ns) / (mean_busy * batches);
+    }
+
+    void
+    merge(const ShardStats &o)
+    {
+        batches += o.batches;
+        blocks += o.blocks;
+        shard_slots += o.shard_slots;
+        busy_ns += o.busy_ns;
+        max_busy_ns += o.max_busy_ns;
+        wall_ns += o.wall_ns;
+        merge_wait_ns += o.merge_wait_ns;
+    }
 };
 
 /** One pending block decode: @c *enc from @c src arriving at @c dst at
@@ -88,10 +145,17 @@ class FlowShardedEncoder
      * available parallelism (shards are the unit of scheduling). */
     std::size_t lastShardCount() const { return last_shards_; }
 
+    /** Toggle per-shard timing; off (the default) costs one branch per
+     * batch. Timings accumulate in stats() across batches. */
+    void setProfiling(bool on) { profiling_ = on; }
+    const ShardStats &stats() const { return stats_; }
+
   private:
     CodecSystem &codec_;
     ExperimentRunner runner_;
     std::size_t last_shards_ = 0;
+    bool profiling_ = false;
+    ShardStats stats_;
 };
 
 /**
@@ -123,10 +187,17 @@ class FlowShardedDecoder
     /** Distinct decoder endpoints in the last decodeAll() batch. */
     std::size_t lastShardCount() const { return last_shards_; }
 
+    /** Toggle per-shard timing; off (the default) costs one branch per
+     * batch. Timings accumulate in stats() across batches. */
+    void setProfiling(bool on) { profiling_ = on; }
+    const ShardStats &stats() const { return stats_; }
+
   private:
     CodecSystem &codec_;
     ExperimentRunner runner_;
     std::size_t last_shards_ = 0;
+    bool profiling_ = false;
+    ShardStats stats_;
 };
 
 /**
@@ -191,6 +262,16 @@ class ShardedCodecPipeline
     {
         return decoder_.lastShardCount();
     }
+
+    /** Toggle per-shard timing on both directions. */
+    void
+    setProfiling(bool on)
+    {
+        encoder_.setProfiling(on);
+        decoder_.setProfiling(on);
+    }
+    const ShardStats &encodeStats() const { return encoder_.stats(); }
+    const ShardStats &decodeStats() const { return decoder_.stats(); }
 
     FlowShardedEncoder &encoder() { return encoder_; }
     FlowShardedDecoder &decoder() { return decoder_; }

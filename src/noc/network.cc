@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "telemetry/error_profile.h"
+#include "telemetry/phase_profiler.h"
 
 namespace approxnoc {
 
@@ -328,7 +330,37 @@ Network::bindTelemetry(telemetry::PointTelemetry &pt)
         });
         s->addProbe("quality.mean_rel_error",
                     [this] { return stats_.quality.meanRelativeError(); });
+        if (qor_) {
+            telemetry::ErrorProfile *q = qor_;
+            s->addProbe("qor.samples", [q] {
+                return static_cast<double>(q->samples());
+            });
+            s->addProbe("qor.mean_abs_rel_err",
+                        [q] { return q->meanAbs(); });
+            s->addProbe("qor.max_abs_rel_err", [q] { return q->maxAbs(); });
+        }
+        if (tracer_) {
+            s->bindTracer(tracer_,
+                          telemetry::PacketTracer::counterTrack());
+            tracer_->setThreadName(telemetry::PacketTracer::counterTrack(),
+                                   "counters");
+        }
     }
+}
+
+void
+Network::bindErrorProfile(telemetry::ErrorProfile *qor)
+{
+    qor_ = qor;
+    codec_->bindErrorProfile(qor);
+}
+
+void
+Network::bindProfiler(telemetry::PhaseProfiler *prof)
+{
+    codec_->bindProfiler(prof);
+    for (auto &ni : nis_)
+        ni->bindProfiler(prof);
 }
 
 void

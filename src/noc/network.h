@@ -123,6 +123,21 @@ class Network : public Clocked
     void bindTelemetry(telemetry::PointTelemetry &pt);
 
     /**
+     * Attach the QoR error profile: forwarded to the codec, which
+     * records one signed relative error per approximated word at
+     * encode time. Call before bindTelemetry so the sampler (when
+     * enabled) also gets live `qor.*` probes. Null detaches.
+     */
+    void bindErrorProfile(telemetry::ErrorProfile *qor);
+
+    /**
+     * Attach the self-profiler: forwarded to the codec
+     * ("codec.apply_pending") and every NI ("ni.encode"/"ni.decode").
+     * The Simulator's own bindProfiler covers the `sim.*` phases.
+     */
+    void bindProfiler(telemetry::PhaseProfiler *prof);
+
+    /**
      * Export end-of-run state into @p reg: per-router and per-NI
      * activity counters, latency stats, codec activity and quality.
      * Pure pull — costs nothing during the run.
@@ -146,6 +161,8 @@ class Network : public Clocked
     /** Lifecycle tracer + error histogram, null unless bound. */
     telemetry::PacketTracer *tracer_ = nullptr;
     Histogram *err_hist_ = nullptr;
+    /** QoR profile, null unless bound (see bindErrorProfile). */
+    telemetry::ErrorProfile *qor_ = nullptr;
 
     std::uint64_t next_packet_id_ = 1;
 

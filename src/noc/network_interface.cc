@@ -1,6 +1,7 @@
 #include "noc/network_interface.h"
 
 #include "common/log.h"
+#include "telemetry/phase_profiler.h"
 
 namespace approxnoc {
 
@@ -34,6 +35,7 @@ NetworkInterface::enqueue(const PacketPtr &pkt, Cycle now)
         // the per-src partitioning FlowShardedEncoder relies on.
         ANOC_ASSERT(pkt->src == id_,
                     "NI must encode only as its own source endpoint");
+        telemetry::PhaseProfiler::Scope prof(profiler_, ph_encode_);
         pkt->enc = codec_->encodeBlock(pkt->precise, pkt->src, pkt->dst, now);
         pkt->n_flits =
             1 + payload_flits(pkt->enc.bits(), cfg_.flit_bits);
@@ -139,6 +141,7 @@ NetworkInterface::acceptEjectedFlit(const Flit &f, Cycle now)
         // channels) is touched.
         ANOC_ASSERT(pkt->dst == id_,
                     "decode at a foreign NI violates destination isolation");
+        telemetry::PhaseProfiler::Scope prof(profiler_, ph_decode_);
         pkt->delivered = codec_->decodeBlock(pkt->enc, pkt->src, pkt->dst, now);
         pkt->decode_done = now + codec_->decompressionLatency();
     } else {
@@ -147,6 +150,16 @@ NetworkInterface::acceptEjectedFlit(const Flit &f, Cycle now)
     ++packets_delivered_;
     if (on_delivery_)
         on_delivery_(pkt, now);
+}
+
+void
+NetworkInterface::bindProfiler(telemetry::PhaseProfiler *p)
+{
+    profiler_ = p;
+    if (profiler_) {
+        ph_encode_ = profiler_->definePhase("ni.encode");
+        ph_decode_ = profiler_->definePhase("ni.decode");
+    }
 }
 
 bool

@@ -70,6 +70,13 @@ class NetworkInterface : public Clocked, public FlitSource
      */
     void bindTracer(telemetry::PacketTracer *t) { tracer_ = t; }
 
+    /**
+     * Attach the self-profiler (null detaches): the codec calls on
+     * the injection ("ni.encode") and ejection ("ni.decode") paths
+     * are timed. Disabled, each site costs one null check.
+     */
+    void bindProfiler(telemetry::PhaseProfiler *p);
+
     /** @name Activity counters */
     ///@{
     std::uint64_t flitsInjected() const { return flits_injected_; }
@@ -100,6 +107,9 @@ class NetworkInterface : public Clocked, public FlitSource
 
     DeliveryFn on_delivery_;
     telemetry::PacketTracer *tracer_ = nullptr;
+    telemetry::PhaseProfiler *profiler_ = nullptr;
+    std::size_t ph_encode_ = 0;
+    std::size_t ph_decode_ = 0;
 
     std::uint64_t flits_injected_ = 0;
     std::uint64_t data_flits_injected_ = 0;

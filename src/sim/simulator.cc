@@ -1,15 +1,107 @@
 #include "sim/simulator.h"
 
+#include <chrono>
+
+#include "telemetry/phase_profiler.h"
+
 namespace approxnoc {
+
+namespace {
+
+constexpr std::size_t kNoPhase = static_cast<std::size_t>(-1);
+
+} // namespace
 
 void
 Simulator::step()
 {
+    if (profiler_) {
+        stepProfiled();
+        return;
+    }
     events_.runUntil(now_);
     for (Clocked *c : components_)
         c->evaluate(now_);
     for (Clocked *c : components_)
         c->advance(now_);
+    ++now_;
+}
+
+void
+Simulator::bindProfiler(telemetry::PhaseProfiler *profiler)
+{
+    profiler_ = profiler;
+    phase_of_.clear();
+    if (profiler_) {
+        ph_event_queue_ = profiler_->definePhase("sim.event_queue");
+        ph_other_ = profiler_->definePhase("sim.other");
+        // Pre-register the classification targets so phaseOf never
+        // defines a phase mid-run (definePhase is setup-time only).
+        profiler_->definePhase("sim.router");
+        profiler_->definePhase("sim.ni");
+        profiler_->definePhase("sim.network");
+        profiler_->definePhase("sim.sampler");
+    }
+}
+
+std::size_t
+Simulator::phaseOf(std::size_t i)
+{
+    if (phase_of_.size() != components_.size())
+        phase_of_.assign(components_.size(), kNoPhase);
+    std::size_t &ph = phase_of_[i];
+    if (ph == kNoPhase) {
+        const std::string &n = components_[i]->name();
+        if (n.rfind("router", 0) == 0)
+            ph = profiler_->definePhase("sim.router");
+        else if (n.rfind("ni", 0) == 0)
+            ph = profiler_->definePhase("sim.ni");
+        else if (n.rfind("network", 0) == 0)
+            ph = profiler_->definePhase("sim.network");
+        else if (n.rfind("sampler", 0) == 0)
+            ph = profiler_->definePhase("sim.sampler");
+        else
+            ph = ph_other_;
+    }
+    return ph;
+}
+
+void
+Simulator::profiledSweep(bool advance)
+{
+    // Time contiguous same-phase runs, not individual components: the
+    // network registers its routers and NIs in blocks, so one cycle
+    // costs a handful of clock reads instead of one per component.
+    using clock = std::chrono::steady_clock;
+    std::size_t i = 0;
+    const std::size_t n = components_.size();
+    while (i < n) {
+        const std::size_t ph = phaseOf(i);
+        const auto t0 = clock::now();
+        std::size_t j = i;
+        while (j < n && phaseOf(j) == ph) {
+            if (advance)
+                components_[j]->advance(now_);
+            else
+                components_[j]->evaluate(now_);
+            ++j;
+        }
+        const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - t0);
+        profiler_->add(ph, static_cast<std::uint64_t>(dt.count()), j - i);
+        i = j;
+    }
+}
+
+void
+Simulator::stepProfiled()
+{
+    {
+        telemetry::PhaseProfiler::Scope s(profiler_, ph_event_queue_);
+        events_.runUntil(now_);
+    }
+    profiledSweep(/*advance=*/false);
+    profiledSweep(/*advance=*/true);
     ++now_;
 }
 

@@ -6,6 +6,7 @@
 #ifndef APPROXNOC_SIM_SIMULATOR_H
 #define APPROXNOC_SIM_SIMULATOR_H
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -14,6 +15,10 @@
 #include "sim/event_queue.h"
 
 namespace approxnoc {
+
+namespace telemetry {
+class PhaseProfiler;
+} // namespace telemetry
 
 /**
  * Owns simulated time. Components are registered by raw pointer; the
@@ -43,10 +48,32 @@ class Simulator
     /** Advance a single cycle. */
     void step();
 
+    /**
+     * Attach a self-profiler. Subsequent cycles are stepped through a
+     * phase-timed path: the event queue and each contiguous run of
+     * same-kind components (routers, NIs, the network, the sampler)
+     * are timed under `sim.*` phases. Components are classified once,
+     * lazily, by their Clocked name prefix. Null (the default)
+     * restores the untimed fast path — `step()` pays one pointer test.
+     */
+    void bindProfiler(telemetry::PhaseProfiler *profiler);
+
   private:
+    /** One profiled cycle (profiler_ non-null). */
+    void stepProfiled();
+    /** One timed evaluate-or-advance sweep over the components. */
+    void profiledSweep(bool advance);
+    /** Phase id for component @p i, classified on first use. */
+    std::size_t phaseOf(std::size_t i);
+
     Cycle now_ = 0;
     std::vector<Clocked *> components_;
     EventQueue events_;
+    telemetry::PhaseProfiler *profiler_ = nullptr;
+    std::size_t ph_event_queue_ = 0;
+    std::size_t ph_other_ = 0;
+    /** Cached phase per component index; kNoPhase = not classified. */
+    std::vector<std::size_t> phase_of_;
 };
 
 } // namespace approxnoc

@@ -1,6 +1,7 @@
 #include "telemetry/packet_tracer.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/table.h"
 
@@ -32,6 +33,17 @@ PacketTracer::instant(std::uint32_t tid, const std::string &name, Cycle ts,
     if (!admit())
         return;
     events_.push_back({name, 'i', ts, 0, tid, std::move(args)});
+}
+
+void
+PacketTracer::counter(std::uint32_t tid, const std::string &name, Cycle ts,
+                      double value)
+{
+    if (!admit())
+        return;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"value\": %.17g}", value);
+    events_.push_back({name, 'C', ts, 0, tid, buf});
 }
 
 void

@@ -28,7 +28,7 @@ namespace approxnoc::telemetry {
 /** One recorded trace event (pre-rendered args). */
 struct TraceEvent {
     std::string name;
-    char ph = 'i';          ///< 'X' span, 'i' instant
+    char ph = 'i';          ///< 'X' span, 'i' instant, 'C' counter
     Cycle ts = 0;           ///< start cycle (emitted as µs)
     Cycle dur = 0;          ///< span length ('X' only)
     std::uint32_t tid = 0;  ///< track within the process
@@ -54,6 +54,9 @@ class PacketTracer
     ///@{
     static std::uint32_t nodeTrack(NodeId n) { return n; }
     static std::uint32_t routerTrack(RouterId r) { return 1000 + r; }
+    /** Counter tracks (epoch time-series rendered as Perfetto counter
+     * plots); one tid hosts any number of named counter series. */
+    static std::uint32_t counterTrack() { return 2000; }
     void setProcessName(std::string name) { process_name_ = std::move(name); }
     void setThreadName(std::uint32_t tid, std::string name)
     {
@@ -68,6 +71,11 @@ class PacketTracer
     /** Record an instant event at @p ts on @p tid. */
     void instant(std::uint32_t tid, const std::string &name, Cycle ts,
                  std::string args = {});
+
+    /** Record a Perfetto counter sample (ph 'C') at @p ts on @p tid:
+     * the named series plots @p value over trace time. */
+    void counter(std::uint32_t tid, const std::string &name, Cycle ts,
+                 double value);
 
     std::uint32_t pid() const { return pid_; }
     std::size_t events() const { return events_.size(); }

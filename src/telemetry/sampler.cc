@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "telemetry/packet_tracer.h"
+
 namespace approxnoc::telemetry {
 
 namespace {
@@ -23,6 +25,10 @@ Sampler::sample(Cycle now)
     row.reserve(probes_.size());
     for (const auto &p : probes_)
         row.push_back(p());
+    if (tracer_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            tracer_->counter(tracer_tid_, names_[i], now, row[i]);
+    }
     cycles_.push_back(now);
     rows_.push_back(std::move(row));
 }

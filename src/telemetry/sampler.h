@@ -9,6 +9,7 @@
 #ifndef APPROXNOC_TELEMETRY_SAMPLER_H
 #define APPROXNOC_TELEMETRY_SAMPLER_H
 
+#include <cstdint>
 #include <functional>
 #include <ostream>
 #include <string>
@@ -17,6 +18,8 @@
 #include "sim/clocked.h"
 
 namespace approxnoc::telemetry {
+
+class PacketTracer;
 
 /** Samples registered probes every `interval` cycles. */
 class Sampler : public Clocked
@@ -51,6 +54,19 @@ class Sampler : public Clocked
     /** Take one row unconditionally (end-of-run snapshot). */
     void sample(Cycle now);
 
+    /**
+     * Mirror every sampled row into @p tracer as Perfetto counter
+     * events (ph 'C') on @p tid — each probe becomes a named counter
+     * series plotted over trace time, viewable alongside the packet
+     * lifecycle tracks. Call before the run; null detaches.
+     */
+    void
+    bindTracer(PacketTracer *tracer, std::uint32_t tid)
+    {
+        tracer_ = tracer;
+        tracer_tid_ = tid;
+    }
+
     Cycle interval() const { return interval_; }
     std::size_t rows() const { return cycles_.size(); }
     const std::vector<std::string> &columns() const { return names_; }
@@ -68,6 +84,8 @@ class Sampler : public Clocked
     std::vector<ProbeFn> probes_;
     std::vector<Cycle> cycles_;
     std::vector<std::vector<double>> rows_;
+    PacketTracer *tracer_ = nullptr;
+    std::uint32_t tracer_tid_ = 0;
 };
 
 } // namespace approxnoc::telemetry

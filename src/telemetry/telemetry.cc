@@ -105,4 +105,15 @@ write_merged_metrics(
     return static_cast<bool>(os);
 }
 
+bool
+write_json_artifact(const std::string &dir, const std::string &file,
+                    const std::function<void(std::ostream &)> &writer)
+{
+    std::ofstream os;
+    if (!open_artifact(dir, file, os))
+        return false;
+    writer(os);
+    return static_cast<bool>(os);
+}
+
 } // namespace approxnoc::telemetry

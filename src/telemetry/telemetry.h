@@ -10,7 +10,9 @@
 #ifndef APPROXNOC_TELEMETRY_TELEMETRY_H
 #define APPROXNOC_TELEMETRY_TELEMETRY_H
 
+#include <functional>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -96,6 +98,15 @@ class PointTelemetry
 bool write_merged_metrics(
     const std::string &dir, const std::string &name,
     const std::vector<std::shared_ptr<const MetricRegistry>> &parts);
+
+/**
+ * Create @p dir as needed and stream @p writer into `<dir>/<file>`.
+ * Best-effort like PointTelemetry::write(): failures are reported on
+ * stderr and return false, never throw. Shared by the qor.json /
+ * profile.json emitters in the harness and the tools.
+ */
+bool write_json_artifact(const std::string &dir, const std::string &file,
+                         const std::function<void(std::ostream &)> &writer);
 
 } // namespace approxnoc::telemetry
 

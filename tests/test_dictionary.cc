@@ -205,7 +205,7 @@ TEST(DiComp, NotificationsAreDrainablePerDestination)
     EXPECT_EQ(more[0].seq, 1u);
 }
 
-TEST(DiComp, DeprecatedGlobalDrainCoversEveryDestination)
+TEST(DiComp, PerDestinationDrainsCoverEveryDestination)
 {
     DiCompCodec c(small_config());
     DataBlock b = block_of({0x99});
@@ -213,21 +213,19 @@ TEST(DiComp, DeprecatedGlobalDrainCoversEveryDestination)
     roundtrip(c, b, 0, 1, 1);
     roundtrip(c, b, 1, 2, 0);
     roundtrip(c, b, 1, 2, 1);
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    auto notes = c.drainNotifications();
-    ASSERT_EQ(notes.size(), 2u);
-    // Grouped by destination in ascending node order.
-    EXPECT_EQ(notes[0].from, 1u);
-    EXPECT_EQ(notes[0].to, 0u);
-    EXPECT_EQ(notes[1].from, 2u);
-    EXPECT_EQ(notes[1].to, 1u);
-    EXPECT_TRUE(c.drainNotifications().empty());
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
+    // Each destination drains exactly its own decoder's notifications.
+    auto n1 = c.drainNotifications(1);
+    ASSERT_EQ(n1.size(), 1u);
+    EXPECT_EQ(n1[0].from, 1u);
+    EXPECT_EQ(n1[0].to, 0u);
+    auto n2 = c.drainNotifications(2);
+    ASSERT_EQ(n2.size(), 1u);
+    EXPECT_EQ(n2[0].from, 2u);
+    EXPECT_EQ(n2[0].to, 1u);
+    // Nodes that decoded nothing, and re-drains, are empty.
+    EXPECT_TRUE(c.drainNotifications(0).empty());
+    EXPECT_TRUE(c.drainNotifications(1).empty());
+    EXPECT_TRUE(c.drainNotifications(2).empty());
 }
 
 TEST(DiComp, EncoderTablesPerNodeAreIndependent)

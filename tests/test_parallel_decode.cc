@@ -553,9 +553,10 @@ TEST(ParallelDecode, AutoJobsIsDeterministic)
     }
 }
 
-/** The deprecated argless drain is exactly the concatenation of the
- * per-destination drains in ascending node order. */
-TEST(ParallelDecode, DeprecatedDrainMatchesPerDestinationConcatenation)
+/** Two identically driven twins drain identical per-destination
+ * notification streams — the stream is a pure function of the decode
+ * history, not of which codec instance carried it. */
+TEST(ParallelDecode, PerDestinationDrainsMatchAcrossTwins)
 {
     const auto blocks = make_workload(0xBEEF, 240);
     auto a = make_codecs();
@@ -563,7 +564,7 @@ TEST(ParallelDecode, DeprecatedDrainMatchesPerDestinationConcatenation)
     for (std::size_t c = 0; c < a.size(); ++c) {
         SCOPED_TRACE(a[c].name);
         // Train WITHOUT draining so both twins hold queued
-        // notifications, then compare the two drain APIs.
+        // notifications, then compare the per-destination drains.
         Cycle now = 0;
         for (std::size_t i = 0; i < blocks.size(); ++i) {
             auto ea = a[c].codec->encodeBlock(blocks[i], flow_src(i),
@@ -574,23 +575,17 @@ TEST(ParallelDecode, DeprecatedDrainMatchesPerDestinationConcatenation)
             b[c].codec->decodeBlock(eb, flow_src(i), flow_dst(i), now);
             now += 53;
         }
-        std::vector<CodecSystem::Notification> per_dst;
-        for (NodeId d = 0; d < static_cast<NodeId>(kNodes); ++d)
-            for (const auto &n : a[c].codec->drainNotifications(d))
-                per_dst.push_back(n);
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-        auto global = b[c].codec->drainNotifications();
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-        ASSERT_EQ(per_dst.size(), global.size());
-        for (std::size_t i = 0; i < per_dst.size(); ++i) {
-            EXPECT_EQ(per_dst[i].from, global[i].from) << "note " << i;
-            EXPECT_EQ(per_dst[i].to, global[i].to) << "note " << i;
-            EXPECT_EQ(per_dst[i].seq, global[i].seq) << "note " << i;
+        for (NodeId d = 0; d < static_cast<NodeId>(kNodes); ++d) {
+            auto na = a[c].codec->drainNotifications(d);
+            auto nb = b[c].codec->drainNotifications(d);
+            ASSERT_EQ(na.size(), nb.size()) << "dst " << d;
+            for (std::size_t i = 0; i < na.size(); ++i) {
+                EXPECT_EQ(na[i].from, nb[i].from) << "dst " << d << " " << i;
+                EXPECT_EQ(na[i].to, nb[i].to) << "dst " << d << " " << i;
+                EXPECT_EQ(na[i].seq, nb[i].seq) << "dst " << d << " " << i;
+            }
+            // Draining is destructive: a second drain is empty.
+            EXPECT_TRUE(a[c].codec->drainNotifications(d).empty());
         }
     }
 }

@@ -19,8 +19,10 @@
 
 #include "harness/experiment.h"
 #include "sim/simulator.h"
+#include "telemetry/error_profile.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/packet_tracer.h"
+#include "telemetry/phase_profiler.h"
 #include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
 
@@ -402,6 +404,148 @@ TEST(PacketTracer, TrackNumbering)
     EXPECT_EQ(PacketTracer::routerTrack(5), 1005u);
 }
 
+// ---------------------------------------------------------- ErrorProfile
+
+TEST(ErrorProfile, MergeIsOrderIndependent)
+{
+    auto fill = [](ErrorProfile &p, int salt) {
+        for (int i = 0; i < 50; ++i) {
+            double e = (i % 7 == 0)
+                           ? 0.0
+                           : (i % 2 ? 1.0 : -1.0) * 1e-6 *
+                                 static_cast<double>(i + salt);
+            p.record(static_cast<NodeId>(i % 4),
+                     static_cast<NodeId>((i + 1) % 4), e);
+        }
+    };
+    ErrorProfile a1, a2, a3;
+    fill(a1, 1);
+    fill(a2, 17);
+    fill(a3, 400);
+
+    ErrorProfile fwd, rev;
+    fwd.merge(a1);
+    fwd.merge(a2);
+    fwd.merge(a3);
+    rev.merge(a3);
+    rev.merge(a1);
+    rev.merge(a2);
+
+    std::ostringstream x, y;
+    fwd.writeJson(x);
+    rev.writeJson(y);
+    EXPECT_EQ(x.str(), y.str());
+    EXPECT_EQ(fwd.samples(), 150u);
+    EXPECT_EQ(fwd.zeroCount(), rev.zeroCount());
+    EXPECT_EQ(fwd.mean(), rev.mean());
+    EXPECT_EQ(fwd.maxAbs(), rev.maxAbs());
+
+    Json root = parse_json(x.str());
+    EXPECT_EQ(root.at("schema").str, "approxnoc-qor-profile-v1");
+    EXPECT_EQ(root.at("total").at("count").num, 150.0);
+    EXPECT_TRUE(root.at("flows").has("0->1"));
+}
+
+TEST(ErrorProfile, LogBucketEdgeCases)
+{
+    // Exact zeros are counted separately, never bucketed.
+    EXPECT_EQ(ErrorProfile::bucketOf(0.0), -1);
+    // Below the log floor clamps into the first bucket.
+    EXPECT_EQ(ErrorProfile::bucketOf(1e-300), 0);
+    EXPECT_EQ(ErrorProfile::bucketOf(1e-16), 0);
+    // A max-magnitude miss (|e| >= 1) lands in the overflow bucket.
+    EXPECT_EQ(ErrorProfile::bucketOf(1.0), ErrorProfile::kBuckets);
+    EXPECT_EQ(ErrorProfile::bucketOf(1e30), ErrorProfile::kBuckets);
+    // An exact-threshold error (1%) falls in an interior bucket whose
+    // edges bracket it (tolerance for log10/pow rounding at the edge).
+    const double e = 0.01;
+    const int b = ErrorProfile::bucketOf(e);
+    ASSERT_GT(b, 0);
+    ASSERT_LT(b, ErrorProfile::kBuckets);
+    EXPECT_LE(ErrorProfile::bucketLowerEdge(b), e * (1.0 + 1e-9));
+    EXPECT_GT(ErrorProfile::bucketLowerEdge(b + 1), e);
+    EXPECT_EQ(ErrorProfile::bucketLowerEdge(0), 0.0);
+    EXPECT_EQ(ErrorProfile::bucketLowerEdge(ErrorProfile::kBuckets), 1.0);
+}
+
+TEST(ErrorProfile, ZeroAndExtremeRecordsAreCountedExactly)
+{
+    ErrorProfile p;
+    p.record(0, 1, 0.0);  // exact word: zero error
+    p.record(0, 1, 1e9);  // pathological relative error
+    EXPECT_EQ(p.samples(), 2u);
+    EXPECT_EQ(p.zeroCount(), 1u);
+    EXPECT_EQ(p.maxAbs(), 1e9); // extremes are exact, not clamped
+    // The mean accumulator clamps |e| so one wild sample cannot poison
+    // it beyond kClampAbs.
+    EXPECT_LE(p.meanAbs(), ErrorProfile::kClampAbs);
+    // Half the mass is exact: the median |e| is zero.
+    EXPECT_EQ(p.percentileAbs(0.5), 0.0);
+}
+
+TEST(ErrorProfile, ExactThresholdErrorIsNotAViolation)
+{
+    ErrorProfile p;
+    p.setDebugLimit(0.01);
+    p.record(0, 1, 0.01); // exactly at the armed limit: allowed
+    p.record(0, 1, -0.01);
+    EXPECT_EQ(p.violations(), 0u);
+    EXPECT_EQ(p.samples(), 2u);
+    EXPECT_EQ(p.mean(), 0.0); // fixed point: +e and -e cancel exactly
+    // The mean is exact at the accumulator's 2^-32 resolution.
+    EXPECT_NEAR(p.meanAbs(), 0.01, 1.0 / 4294967296.0);
+}
+
+#ifdef NDEBUG
+// In debug builds record() asserts on a violation; the counting path
+// is only observable in release builds.
+TEST(ErrorProfile, ViolationsCountBeyondArmedLimit)
+{
+    ErrorProfile p;
+    p.setDebugLimit(0.01);
+    p.record(0, 1, 0.02);
+    EXPECT_EQ(p.violations(), 1u);
+}
+#endif
+
+// ---------------------------------------------------------- PhaseProfiler
+
+TEST(PhaseProfiler, ScopesAccumulateAndMergeByName)
+{
+    PhaseProfiler p;
+    auto a = p.definePhase("sim.router");
+    auto b = p.definePhase("sim.ni");
+    EXPECT_EQ(p.definePhase("sim.router"), a); // idempotent
+    p.add(a, 100, 2);
+    p.add(b, 50);
+    {
+        PhaseProfiler::Scope s(&p, a); // live scope: adds >= 0 ns
+    }
+    {
+        PhaseProfiler::Scope off(nullptr, a); // inert: must not count
+    }
+    EXPECT_EQ(p.phases(), 2u);
+
+    PhaseProfiler q;
+    q.add(q.definePhase("sim.ni"), 25, 1);
+    q.merge(p);
+    auto rows = q.snapshot();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].name, "sim.ni"); // sorted by name
+    EXPECT_EQ(rows[0].ns, 75u);
+    EXPECT_EQ(rows[0].calls, 2u);
+    EXPECT_EQ(rows[1].name, "sim.router");
+    EXPECT_GE(rows[1].ns, 100u);
+    EXPECT_EQ(rows[1].calls, 3u);
+
+    std::ostringstream os;
+    q.writeJson(os);
+    Json root = parse_json(os.str());
+    EXPECT_EQ(root.at("schema").str, "approxnoc-phase-profile-v1");
+    EXPECT_TRUE(root.at("phases").has("sim.router"));
+    EXPECT_EQ(root.at("phases").at("sim.ni").at("calls").num, 2.0);
+}
+
 // ------------------------------------------------------------- Telemetry
 
 TEST(Telemetry, SanitizeComponent)
@@ -494,6 +638,16 @@ TEST(TelemetryEndToEnd, ReplayProducesValidArtifacts)
     Json ts = parse_json(slurp(dir + "/e2e.timeseries.json"));
     EXPECT_GT(ts.at("rows").arr.size(), 1u);
     EXPECT_GT(ts.at("columns").arr.size(), 1u);
+
+    // The QoR artifact parses and, whenever any word was approximated,
+    // its sample count surfaces in the metrics under qor.<scheme>.
+    Json qor = parse_json(slurp(dir + "/e2e.qor.json"));
+    EXPECT_EQ(qor.at("schema").str, "approxnoc-qor-profile-v1");
+    if (qor.at("total").at("count").num > 0) {
+        ASSERT_TRUE(counters.has("qor.fp_vaxx.samples"));
+        EXPECT_EQ(counters.at("qor.fp_vaxx.samples").num,
+                  qor.at("total").at("count").num);
+    }
 }
 
 TEST(TelemetryEndToEnd, DisabledTelemetryLeavesNoTrace)
@@ -555,6 +709,11 @@ TEST(TelemetryEndToEnd, MetricsAreBitIdenticalAcrossJobCounts)
     parse_json(slurp(d1 + "/metrics.json"), &ok);
     EXPECT_TRUE(ok);
 
+    // The merged QoR report honors the same contract.
+    EXPECT_EQ(slurp(d1 + "/qor.json"), slurp(d4 + "/qor.json"));
+    parse_json(slurp(d1 + "/qor.json"), &ok);
+    EXPECT_TRUE(ok);
+
     // Every per-point artifact: same names, same bytes.
     for (const auto &pt : serial.spec().points()) {
         std::string label = PointTelemetry::pointLabel(
@@ -564,6 +723,9 @@ TEST(TelemetryEndToEnd, MetricsAreBitIdenticalAcrossJobCounts)
             << label;
         EXPECT_EQ(slurp(d1 + "/" + label + ".timeseries.csv"),
                   slurp(d4 + "/" + label + ".timeseries.csv"))
+            << label;
+        EXPECT_EQ(slurp(d1 + "/" + label + ".qor.json"),
+                  slurp(d4 + "/" + label + ".qor.json"))
             << label;
     }
 }

@@ -40,6 +40,8 @@
 #include "core/codec_factory.h"
 #include "harness/experiment.h"
 #include "harness/sharded_codec_pipeline.h"
+#include "telemetry/error_profile.h"
+#include "telemetry/phase_profiler.h"
 #include "noc/network.h"
 #include "noc/qos_loop.h"
 #include "sim/simulator.h"
@@ -81,6 +83,8 @@ usage()
         "  --trace-out=<dir>    (Chrome trace-event JSON per run; open in\n"
         "                        Perfetto or chrome://tracing)\n"
         "  --sample-interval=<cycles>  (time-series sampling epoch, 0=off)\n"
+        "  --profile            (simulator self-profiling: phase timings to\n"
+        "                        profile.json in the metrics dir, or '.')\n"
         "  --quiet              (suppress the stats dump; print summary)\n");
 }
 
@@ -126,8 +130,14 @@ struct SimSummary {
  * traffic. When @p dump is set, ends with the gem5-style stats dump on
  * stdout (single-scheme mode only — compare mode keeps workers quiet).
  */
+/**
+ * @param labeled prefix the qor.json/profile.json artifacts with the
+ *        scheme label (compare mode — keeps workers from clobbering
+ *        each other); single-scheme runs use the plain names the CI
+ *        smoke checks for.
+ */
 SimSummary
-run_sim(const CliArgs &args, Scheme scheme, bool dump)
+run_sim(const CliArgs &args, Scheme scheme, bool dump, bool labeled = false)
 {
     NocConfig ncfg = parse_noc_config(args);
     CodecConfig cc;
@@ -148,6 +158,24 @@ run_sim(const CliArgs &args, Scheme scheme, bool dump)
         static_cast<Cycle>(args.getInt("sample-interval", 0));
     topts.label = telemetry::sanitize_component(to_string(scheme));
     topts.pid = static_cast<std::uint32_t>(scheme);
+    // QoR error telemetry is always on (encode-time recording is one
+    // uncontended lock per approximated block); the self-profiler only
+    // under --profile. Bind before bindTelemetry so the sampler also
+    // carries live qor.* probes.
+    telemetry::ErrorProfile qor;
+    if (cc.error_threshold_pct > 0)
+        qor.setDebugLimit(cc.error_threshold_pct / 100.0 *
+                          telemetry::ErrorProfile::kDebugSlack);
+    net.bindErrorProfile(&qor);
+
+    const bool profile = args.getBool("profile", false);
+    std::unique_ptr<telemetry::PhaseProfiler> prof;
+    if (profile) {
+        prof = std::make_unique<telemetry::PhaseProfiler>();
+        sim.bindProfiler(prof.get());
+        net.bindProfiler(prof.get());
+    }
+
     std::optional<telemetry::PointTelemetry> pt;
     if (topts.enabled()) {
         pt.emplace(topts);
@@ -260,7 +288,30 @@ run_sim(const CliArgs &args, Scheme scheme, bool dump)
         }
         net.collectTelemetry(*pt->metrics());
         pt->metrics()->counter("sim.elapsed_cycles").inc(sim.now());
+        qor.exportTo(*pt->metrics(),
+                     "qor." + telemetry::sanitize_component(
+                                  to_string(scheme)));
         pt->write();
+    }
+
+    // qor.json always accompanies the metrics; profile.json needs
+    // --profile and falls back to the working directory so `--profile`
+    // alone still leaves an artifact behind.
+    const std::string stem = labeled ? topts.label + "." : std::string();
+    if (topts.metricsEnabled())
+        telemetry::write_json_artifact(
+            topts.metrics_dir, stem + "qor.json",
+            [&](std::ostream &os) { qor.writeJson(os); });
+    if (prof) {
+        const std::string dir =
+            topts.metricsEnabled() ? topts.metrics_dir : std::string(".");
+        telemetry::write_json_artifact(
+            dir, stem + "profile.json",
+            [&](std::ostream &os) { prof->writeJson(os); });
+        if (!topts.metricsEnabled())
+            telemetry::write_json_artifact(
+                dir, stem + "qor.json",
+                [&](std::ostream &os) { qor.writeJson(os); });
     }
 
     SimSummary s;
@@ -282,7 +333,7 @@ run_compare(const CliArgs &args)
     harness::ExperimentRunner runner(
         static_cast<unsigned>(args.getInt("jobs", 1)));
     auto out = runner.map(schemes.size(), [&](std::size_t i) {
-        return run_sim(args, schemes[i], /*dump=*/false);
+        return run_sim(args, schemes[i], /*dump=*/false, /*labeled=*/true);
     });
 
     Table t({"scheme", "latency", "delivered", "data_flits", "quality",
