@@ -68,8 +68,11 @@ main(int argc, char **argv)
 
             sim.run(cfg.cycles);
             gen.setEnabled(false);
+            // Drain check every 64 cycles: quiesced()/drained() scan
+            // every VC, so per-cycle polling dominates the drain tail.
             bool ok = sim.runUntil(
-                [&] { return gen.quiesced() && net.drained(); }, 500000);
+                [&] { return gen.quiesced() && net.drained(); }, 500000,
+                /*check_interval=*/64);
 
             LoopResult r;
             r.round_trip = ok ? gen.roundTrip().mean() : -1.0;

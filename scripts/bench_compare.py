@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
-"""Diff two micro_codec --bench-out JSON files for throughput regressions.
+"""Diff two micro_codec/micro_sim --bench-out JSON files for regressions.
 
 Usage:
     bench_compare.py OLD.json NEW.json [--threshold FRAC] [--report-only]
                      [--section NAME]
 
 Compares <section>.<scheme> throughput between the two files (section
-defaults to `results`, comparing `words_per_sec`; `--section parallel`
-or `--section parallel_decode` compares the sharded axes on
-`words_per_sec_jobsN`). A scheme whose new throughput falls below
+defaults to `results`, comparing `words_per_sec` — or `cycles_per_sec`
+for micro_sim files; `--section parallel` or `--section
+parallel_decode` compares the sharded/region-parallel axes on
+`words_per_sec_jobsN` / `cycles_per_sec_jobsN`). A scheme whose new throughput falls below
 (1 - threshold) * old throughput is a regression; a scheme present in
 OLD but missing from NEW is treated as one too. A file missing the
 requested section is malformed input and names the sections it does
@@ -29,10 +30,12 @@ import json
 import sys
 
 
-# Per-scheme throughput key by section: the serial gate records
-# words_per_sec; the sharded axes record jobs1/jobsN pairs, of which
-# the jobsN number is the one a regression would move.
-METRIC_KEYS = ("words_per_sec", "words_per_sec_jobsN")
+# Per-scheme throughput key by section: the serial gates record
+# words_per_sec (micro_codec) or cycles_per_sec (micro_sim); the
+# sharded/region-parallel axes record jobs1/jobsN pairs, of which the
+# jobsN number is the one a regression would move.
+METRIC_KEYS = ("words_per_sec", "words_per_sec_jobsN",
+               "cycles_per_sec", "cycles_per_sec_jobsN")
 
 
 def load_results(path, section):

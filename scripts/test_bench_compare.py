@@ -38,6 +38,24 @@ def bench_json(path, parallel_decode=None, **words_per_sec):
         json.dump(data, f)
 
 
+def sim_bench_json(path, cps, cps_jobs_n):
+    """The micro_sim schema: cycles_per_sec keys, one config entry."""
+    data = {
+        "schema": "approxnoc-micro-sim-bench-v1",
+        "results": {"mesh_8x8": {"cycles_per_sec": cps,
+                                 "packets_delivered": 12345}},
+        "parallel": {
+            "sim_jobs": 4,
+            "regions": 4,
+            "results": {"mesh_8x8": {"cycles_per_sec_jobs1": cps,
+                                     "cycles_per_sec_jobsN": cps_jobs_n,
+                                     "speedup": cps_jobs_n / cps}},
+        },
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f)
+
+
 def run(*argv):
     p = subprocess.run([sys.executable, SCRIPT, *argv],
                        capture_output=True, text=True)
@@ -150,6 +168,30 @@ def main():
             failures.append(
                 f"section-missing-baseline: want clear message naming "
                 f"parallel_decode, no traceback\n{out}")
+
+        # The micro_sim schema (cycles_per_sec keys) works in both the
+        # serial and the region-parallel section.
+        sim_old = os.path.join(d, "sim_old.json")
+        sim_bench_json(sim_old, cps=4e5, cps_jobs_n=1.1e6)
+        sim_same = os.path.join(d, "sim_same.json")
+        sim_bench_json(sim_same, cps=4e5, cps_jobs_n=1.1e6)
+        rc, out = run(sim_old, sim_same)
+        check("sim-identical", rc, 0, out)
+        rc, out = run(sim_old, sim_same, "--section", "parallel")
+        check("sim-parallel-identical", rc, 0, out)
+
+        sim_slow = os.path.join(d, "sim_slow.json")
+        sim_bench_json(sim_slow, cps=1e5, cps_jobs_n=1.1e6)
+        rc, out = run(sim_old, sim_slow)
+        check("sim-serial-regression", rc, 1, out)
+        # The serial drop leaves the parallel axis untouched.
+        rc, out = run(sim_old, sim_slow, "--section", "parallel")
+        check("sim-parallel-unaffected", rc, 0, out)
+
+        sim_par_slow = os.path.join(d, "sim_par_slow.json")
+        sim_bench_json(sim_par_slow, cps=4e5, cps_jobs_n=3e5)
+        rc, out = run(sim_old, sim_par_slow, "--section", "parallel")
+        check("sim-parallel-regression", rc, 1, out)
 
         # An unknown section name reports what the file does contain.
         rc, out = run(par_old, par_same, "--section", "nonsense")

@@ -39,44 +39,37 @@ ExperimentRunner::run(std::size_t n, const std::function<void(std::size_t)> &fn)
     if (n == 0)
         return statuses;
 
-    std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex progress_mtx;
 
-    auto worker = [&] {
-        for (;;) {
-            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                fn(i);
-            } catch (const std::exception &e) {
-                statuses[i].ok = false;
-                statuses[i].error = e.what();
-            } catch (...) {
-                statuses[i].ok = false;
-                statuses[i].error = "unknown exception";
-            }
-            std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (progress_) {
-                std::lock_guard<std::mutex> lock(progress_mtx);
-                progress_(d, n);
-            }
+    // The WorkerPool contract forbids throwing tasks, so exception
+    // capture into JobStatus lives in this wrapper — job i's status
+    // lands at index i regardless of which lane ran it.
+    auto task = [&](std::size_t i) {
+        try {
+            fn(i);
+        } catch (const std::exception &e) {
+            statuses[i].ok = false;
+            statuses[i].error = e.what();
+        } catch (...) {
+            statuses[i].ok = false;
+            statuses[i].error = "unknown exception";
+        }
+        std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (progress_) {
+            std::lock_guard<std::mutex> lock(progress_mtx);
+            progress_(d, n);
         }
     };
 
-    unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
-    if (workers <= 1) {
-        worker();
+    if (jobs_ <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            task(i);
         return statuses;
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    if (!pool_)
+        pool_ = std::make_unique<WorkerPool>(jobs_);
+    pool_->parallelFor(n, task);
     return statuses;
 }
 

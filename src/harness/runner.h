@@ -15,9 +15,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "common/worker_pool.h"
 
 namespace approxnoc::harness {
 
@@ -79,6 +82,9 @@ class ExperimentRunner
   private:
     unsigned jobs_;
     ProgressFn progress_;
+    /** Lazily-created persistent pool shared across run() calls, so a
+     *  sweep that maps many batches pays thread spawn once. */
+    std::unique_ptr<WorkerPool> pool_;
 };
 
 /** `jobs == 0` -> hardware concurrency (at least 1). */

@@ -54,6 +54,8 @@ class NetworkInterface : public Clocked, public FlitSource
 
     void creditReturn(unsigned out_port, unsigned vc) override;
 
+    int sourceRegion() const override { return regionTag(); }
+
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
 

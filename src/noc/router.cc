@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "noc/network_interface.h"
+#include "sim/region_scheduler.h"
 
 namespace approxnoc {
 
@@ -109,6 +110,15 @@ Router::acceptFlit(unsigned in_port, unsigned vc, Flit f)
 {
     ANOC_ASSERT(in_port < n_ports_ && vc < cfg_.vcs,
                 "acceptFlit port/vc out of range");
+#ifndef NDEBUG
+    // Cross-region write-hazard check: inside a parallel phase only
+    // this router's own region may deposit flits (anything else must
+    // go through the deferral outbox — see flushDeferred).
+    ANOC_ASSERT(sim_current_region() < 0 ||
+                    sim_current_region() == regionTag(),
+                "cross-region acceptFlit at router ", id_,
+                " from region ", sim_current_region());
+#endif
     auto &q = in_[in_port].vcs[vc].q;
     ANOC_ASSERT(q.size() < cfg_.vc_depth,
                 "buffer overflow at router ", id_, " port ", in_port,
@@ -122,6 +132,12 @@ Router::creditReturn(unsigned out_port, unsigned vc)
 {
     ANOC_ASSERT(out_port < n_ports_ && vc < cfg_.vcs,
                 "creditReturn port/vc out of range");
+#ifndef NDEBUG
+    ANOC_ASSERT(sim_current_region() < 0 ||
+                    sim_current_region() == regionTag(),
+                "cross-region creditReturn at router ", id_,
+                " from region ", sim_current_region());
+#endif
     auto &c = out_[out_port].credits[vc];
     ANOC_ASSERT(c < cfg_.vc_depth, "credit overflow at router ", id_,
                 " port ", out_port, " vc ", vc);
@@ -205,6 +221,12 @@ Router::evaluate(Cycle now)
 void
 Router::advance(Cycle now)
 {
+    // Under region-parallel stepping, effects on components of another
+    // region are deferred to the serial post-advance flush; everything
+    // touched directly below is own state or same-region (the local
+    // NIs are always grouped with their router).
+    const int my_region = regionTag();
+
     for (unsigned op_idx = 0; op_idx < n_ports_; ++op_idx) {
         Grant &g = grants_[op_idx];
         if (!g.valid())
@@ -217,8 +239,14 @@ Router::advance(Cycle now)
         ++flits_forwarded_;
 
         // Return the freed buffer slot upstream.
-        if (port.up)
-            port.up->creditReturn(port.up_port, static_cast<unsigned>(g.vc));
+        if (port.up) {
+            if (my_region >= 0 && port.up->sourceRegion() != my_region)
+                defer_credits_.push_back(
+                    {port.up, port.up_port, static_cast<unsigned>(g.vc)});
+            else
+                port.up->creditReturn(port.up_port,
+                                      static_cast<unsigned>(g.vc));
+        }
 
         OutPort &op = out_[op_idx];
         bool tail = f.is_tail;
@@ -231,7 +259,11 @@ Router::advance(Cycle now)
             f.arrival = now + 1;
             bool head = f.isHead();
             std::uint64_t pkt_id = f.pkt->id;
-            op.peer->acceptFlit(op.peer_port, dvc, f);
+            if (my_region >= 0 && op.peer->regionTag() != my_region)
+                defer_flits_.push_back(
+                    {op.peer, op.peer_port, dvc, std::move(f)});
+            else
+                op.peer->acceptFlit(op.peer_port, dvc, std::move(f));
             ++link_traversals_;
             if (tracer_ && head)
                 tracer_->instant(telemetry::PacketTracer::routerTrack(id_),
@@ -250,6 +282,17 @@ Router::advance(Cycle now)
             (static_cast<unsigned>(g.vc) + 1) % cfg_.vcs;
     }
     rr_in_ = (rr_in_ + 1) % n_ports_;
+}
+
+void
+Router::flushDeferred()
+{
+    for (const DeferredCredit &d : defer_credits_)
+        d.up->creditReturn(d.port, d.vc);
+    defer_credits_.clear();
+    for (DeferredFlit &d : defer_flits_)
+        d.peer->acceptFlit(d.port, d.vc, std::move(d.f));
+    defer_flits_.clear();
 }
 
 std::size_t

@@ -34,6 +34,11 @@ class FlitSource
     virtual ~FlitSource() = default;
     /** Downstream returns one credit for (our output port, vc). */
     virtual void creditReturn(unsigned out_port, unsigned vc) = 0;
+    /** Region tag of this source under region-parallel stepping
+     *  (-1 = untagged / serial). Routers and NIs forward their
+     *  Clocked::regionTag so a downstream router can tell whether a
+     *  credit return would cross a region boundary. */
+    virtual int sourceRegion() const { return -1; }
 };
 
 /** The router proper. */
@@ -78,6 +83,17 @@ class Router : public Clocked, public FlitSource
     void acceptFlit(unsigned in_port, unsigned vc, Flit f);
     void creditReturn(unsigned out_port, unsigned vc) override;
     ///@}
+
+    int sourceRegion() const override { return regionTag(); }
+
+    /**
+     * Apply flit handoffs and credit returns this router's advance()
+     * deferred because they targeted another region. Called serially
+     * (post-advance barrier) in ascending router order, which
+     * reproduces the serial sweep's effect exactly: per-queue pushes
+     * are at most one per cycle and credit increments commute.
+     */
+    void flushDeferred();
 
     void evaluate(Cycle now) override;
     void advance(Cycle now) override;
@@ -154,6 +170,22 @@ class Router : public Clocked, public FlitSource
     unsigned rr_in_ = 0; ///< round-robin pointer over input ports
     std::vector<unsigned> rr_vc_; ///< per-input round-robin over VCs
     bool class_aware_ = false; ///< any link tagged => dateline VCs on
+
+    /** Cross-region outboxes (see flushDeferred). The vectors keep
+     *  their capacity across cycles, so steady state never allocates. */
+    struct DeferredFlit {
+        Router *peer;
+        unsigned port;
+        unsigned vc;
+        Flit f;
+    };
+    struct DeferredCredit {
+        FlitSource *up;
+        unsigned port;
+        unsigned vc;
+    };
+    std::vector<DeferredFlit> defer_flits_;
+    std::vector<DeferredCredit> defer_credits_;
 
     std::uint64_t flits_forwarded_ = 0;
     std::uint64_t buffer_writes_ = 0;

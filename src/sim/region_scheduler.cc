@@ -1,0 +1,116 @@
+#include "sim/region_scheduler.h"
+
+#include <chrono>
+#include <string>
+
+#include "telemetry/phase_profiler.h"
+
+namespace approxnoc {
+
+namespace {
+
+thread_local int tls_step_region = -1;
+
+inline std::uint64_t
+now_ns()
+{
+    using clock = std::chrono::steady_clock;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+int
+sim_current_region()
+{
+    return tls_step_region;
+}
+
+void
+detail::set_sim_current_region(int region)
+{
+    tls_step_region = region;
+}
+
+RegionScheduler::RegionScheduler(RegionPlan plan, unsigned threads)
+    : plan_(std::move(plan)), pool_(threads),
+      busy_ns_(plan_.regions.size(), 0)
+{
+    // Capture only `this` so the std::function stays in its small
+    // buffer — sweeps run twice per cycle and must not allocate.
+    task_ = [this](std::size_t r) { runRegion(r); };
+}
+
+void
+RegionScheduler::bindProfiler(telemetry::PhaseProfiler *profiler)
+{
+    profiler_ = profiler;
+    ph_eval_.clear();
+    ph_adv_.clear();
+    ph_wait_.clear();
+    if (!profiler_)
+        return;
+    ph_par_eval_ = profiler_->definePhase("sim.parallel.evaluate");
+    ph_par_adv_ = profiler_->definePhase("sim.parallel.advance");
+    for (std::size_t r = 0; r < plan_.regions.size(); ++r) {
+        const std::string base = "sim.region.r" + std::to_string(r);
+        ph_eval_.push_back(profiler_->definePhase(base + ".evaluate"));
+        ph_adv_.push_back(profiler_->definePhase(base + ".advance"));
+        ph_wait_.push_back(profiler_->definePhase(base + ".barrier_wait"));
+    }
+}
+
+void
+RegionScheduler::runRegion(std::size_t r)
+{
+    detail::set_sim_current_region(static_cast<int>(r));
+    const auto &comps = plan_.regions[r];
+    if (profiler_) {
+        const std::uint64_t t0 = now_ns();
+        if (cur_advance_)
+            for (Clocked *c : comps)
+                c->advance(cur_now_);
+        else
+            for (Clocked *c : comps)
+                c->evaluate(cur_now_);
+        const std::uint64_t busy = now_ns() - t0;
+        busy_ns_[r] = busy;
+        profiler_->add(cur_advance_ ? ph_adv_[r] : ph_eval_[r], busy,
+                       comps.size());
+    } else {
+        if (cur_advance_)
+            for (Clocked *c : comps)
+                c->advance(cur_now_);
+        else
+            for (Clocked *c : comps)
+                c->evaluate(cur_now_);
+    }
+    detail::set_sim_current_region(-1);
+}
+
+void
+RegionScheduler::sweep(bool advance, Cycle now)
+{
+    cur_now_ = now;
+    cur_advance_ = advance;
+    if (!profiler_) {
+        pool_.parallelFor(plan_.regions.size(), task_);
+        return;
+    }
+    const std::uint64_t t0 = now_ns();
+    pool_.parallelFor(plan_.regions.size(), task_);
+    const std::uint64_t wall = now_ns() - t0;
+    profiler_->add(advance ? ph_par_adv_ : ph_par_eval_, wall, 1);
+    // A region's barrier wait is the phase wall minus its own busy
+    // time: how long its lane sat at the barrier while the slowest
+    // sibling finished. Large r-to-r spread = partition imbalance.
+    for (std::size_t r = 0; r < plan_.regions.size(); ++r) {
+        const std::uint64_t busy = busy_ns_[r];
+        profiler_->add(ph_wait_[r], wall > busy ? wall - busy : 0, 1);
+    }
+}
+
+} // namespace approxnoc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Region-parallel stepping for the two-phase simulator loop.
+ *
+ * The registered Clocked components are partitioned into topology-aware
+ * regions (the Network groups each router with its attached NIs and
+ * stripes rows across regions — see Network::enableRegionParallel).
+ * Each cycle then runs as
+ *
+ *     parallel evaluate over regions → barrier →
+ *     parallel advance  over regions → barrier → serial epilogue
+ *
+ * on a persistent WorkerPool, where `parallelFor` itself is the
+ * barrier. Determinism is by construction, not by luck: evaluate only
+ * reads committed state, advance only writes state owned by the
+ * component's own region (cross-region effects are deferred and
+ * replayed serially in ascending region order, which reproduces the
+ * serial sweep order exactly). metrics.json / qor.json / traces are
+ * therefore byte-identical at any `--sim-jobs`.
+ *
+ * ## Component isolation contract (region-parallel stepping)
+ *
+ * A component stepped inside a region must obey, in addition to the
+ * two-phase evaluate/advance discipline:
+ *
+ *  1. evaluate() reads only state committed at the previous barrier
+ *     (its own and other components') and writes only its own state.
+ *  2. advance() writes only state owned by its own region. Effects on
+ *     another region (flit handoff, credit return, delivery
+ *     callbacks) must be deferred to the post-advance serial phase or
+ *     be commutative relaxed-atomic counters.
+ *  3. Anything that mutates cross-region shared structures
+ *     (codec encode, traffic injection, global stats with
+ *     order-sensitive accumulation) runs only in serial context —
+ *     i.e. when `sim_current_region() < 0`.
+ *
+ * Debug builds enforce (2) at the router/NI mutation points with
+ * cross-region write-hazard asserts keyed on `sim_current_region()`.
+ */
+#ifndef APPROXNOC_SIM_REGION_SCHEDULER_H
+#define APPROXNOC_SIM_REGION_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "common/worker_pool.h"
+#include "sim/clocked.h"
+
+namespace approxnoc {
+
+namespace telemetry {
+class PhaseProfiler;
+} // namespace telemetry
+
+/**
+ * Region id of the parallel phase running on this thread, or -1 in
+ * serial context (the main loop, the post-advance epilogue, tests).
+ * Components use this for write-hazard asserts and for routing
+ * cross-region effects into deferral queues.
+ */
+int sim_current_region();
+
+namespace detail {
+/** Set by the scheduler around region tasks; not for component use. */
+void set_sim_current_region(int region);
+} // namespace detail
+
+/**
+ * A partition of the simulator's component prefix into regions, plus
+ * an optional serial hook run after the parallel advance barrier
+ * (flush deferred cross-region effects, replay delivery callbacks).
+ */
+struct RegionPlan {
+    /** Per-region component lists, each in ascending registration
+     *  order; together they must cover a prefix of the simulator's
+     *  registration order exactly once (verified by setRegionPlan). */
+    std::vector<std::vector<Clocked *>> regions;
+    /** Serial epilogue after the advance barrier, before the serial
+     *  tail components advance. */
+    std::function<void(Cycle)> post_advance;
+};
+
+/**
+ * Steps the regions of a RegionPlan in parallel on an owned
+ * WorkerPool. One sweep() call is one phase (evaluate or advance)
+ * including its barrier. With a profiler bound, each region records
+ * `sim.region.r<k>.{evaluate,advance}` busy time plus
+ * `.barrier_wait` (phase wall minus own busy — time spent waiting on
+ * sibling regions), and the phase wall clock lands in
+ * `sim.parallel.{evaluate,advance}`.
+ */
+class RegionScheduler
+{
+  public:
+    RegionScheduler(RegionPlan plan, unsigned threads);
+
+    std::size_t regionCount() const { return plan_.regions.size(); }
+    const RegionPlan &plan() const { return plan_; }
+    unsigned threads() const { return pool_.threads(); }
+
+    /** Define the per-region profiler phases (setup time only). */
+    void bindProfiler(telemetry::PhaseProfiler *profiler);
+
+    /** Run one parallel phase over all regions and barrier. */
+    void sweep(bool advance, Cycle now);
+
+  private:
+    void runRegion(std::size_t r);
+
+    RegionPlan plan_;
+    WorkerPool pool_;
+    std::function<void(std::size_t)> task_;
+    /** Batch parameters for task_ (set before each sweep). */
+    Cycle cur_now_ = 0;
+    bool cur_advance_ = false;
+
+    telemetry::PhaseProfiler *profiler_ = nullptr;
+    std::size_t ph_par_eval_ = 0;
+    std::size_t ph_par_adv_ = 0;
+    std::vector<std::size_t> ph_eval_;
+    std::vector<std::size_t> ph_adv_;
+    std::vector<std::size_t> ph_wait_;
+    /** Per-region busy ns of the current sweep; slot r is written only
+     *  by region r's task and read after the barrier. */
+    std::vector<std::uint64_t> busy_ns_;
+};
+
+} // namespace approxnoc
+
+#endif // APPROXNOC_SIM_REGION_SCHEDULER_H

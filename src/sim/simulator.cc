@@ -1,7 +1,12 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
+#include <unordered_map>
 
+#include "common/log.h"
+#include "sim/region_scheduler.h"
 #include "telemetry/phase_profiler.h"
 
 namespace approxnoc {
@@ -12,9 +17,27 @@ constexpr std::size_t kNoPhase = static_cast<std::size_t>(-1);
 
 } // namespace
 
+Simulator::Simulator() = default;
+Simulator::~Simulator() = default;
+
+void
+Simulator::add(Clocked *c)
+{
+    components_.push_back(c);
+    // Explicit cache maintenance instead of the old lazy size-check:
+    // the new component starts unclassified while every existing
+    // classification survives, so registering mid-run can never
+    // silently re-derive (and reshuffle) the phase table.
+    phase_of_.push_back(kNoPhase);
+}
+
 void
 Simulator::step()
 {
+    if (scheduler_) {
+        stepRegions();
+        return;
+    }
     if (profiler_) {
         stepProfiled();
         return;
@@ -28,13 +51,99 @@ Simulator::step()
 }
 
 void
+Simulator::setRegionPlan(RegionPlan plan, unsigned threads)
+{
+    if (plan.regions.size() <= 1) {
+        scheduler_.reset();
+        serial_prefix_ = 0;
+        return;
+    }
+
+    // Verify the plan is an exact partition of a registration-order
+    // prefix, each region internally ascending. This is what makes
+    // the post-advance serial replay (ascending region order)
+    // reproduce the serial sweep order exactly.
+    std::unordered_map<const Clocked *, std::size_t> index;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+        index.emplace(components_[i], i);
+    std::size_t covered = 0;
+    std::vector<bool> seen(components_.size(), false);
+    for (const auto &region : plan.regions) {
+        std::size_t prev = kNoPhase;
+        for (const Clocked *c : region) {
+            auto it = index.find(c);
+            ANOC_ASSERT(it != index.end(),
+                        "region plan names an unregistered component");
+            ANOC_ASSERT(!seen[it->second],
+                        "region plan lists a component twice");
+            ANOC_ASSERT(prev == kNoPhase || it->second > prev,
+                        "region component order must follow "
+                        "registration order");
+            prev = it->second;
+            seen[it->second] = true;
+            ++covered;
+        }
+    }
+    for (std::size_t i = 0; i < covered; ++i)
+        ANOC_ASSERT(seen[i], "region plan must cover a registration-order "
+                             "prefix with no gaps");
+
+    serial_prefix_ = covered;
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw ? hw : 1;
+    }
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(plan.regions.size()));
+    scheduler_ = std::make_unique<RegionScheduler>(std::move(plan), threads);
+    if (profiler_)
+        scheduler_->bindProfiler(profiler_);
+}
+
+std::size_t
+Simulator::regionCount() const
+{
+    return scheduler_ ? scheduler_->regionCount() : 0;
+}
+
+void
+Simulator::stepRegions()
+{
+    if (profiler_) {
+        telemetry::PhaseProfiler::Scope s(profiler_, ph_event_queue_);
+        events_.runUntil(now_);
+    } else {
+        events_.runUntil(now_);
+    }
+
+    const std::size_t n = components_.size();
+    scheduler_->sweep(/*advance=*/false, now_);
+    if (profiler_)
+        profiledSweep(/*advance=*/false, serial_prefix_, n);
+    else
+        plainSweep(/*advance=*/false, serial_prefix_, n);
+
+    scheduler_->sweep(/*advance=*/true, now_);
+    if (scheduler_->plan().post_advance) {
+        telemetry::PhaseProfiler::Scope s(profiler_, ph_region_apply_);
+        scheduler_->plan().post_advance(now_);
+    }
+    if (profiler_)
+        profiledSweep(/*advance=*/true, serial_prefix_, n);
+    else
+        plainSweep(/*advance=*/true, serial_prefix_, n);
+    ++now_;
+}
+
+void
 Simulator::bindProfiler(telemetry::PhaseProfiler *profiler)
 {
     profiler_ = profiler;
-    phase_of_.clear();
+    phase_of_.assign(components_.size(), kNoPhase);
     if (profiler_) {
         ph_event_queue_ = profiler_->definePhase("sim.event_queue");
         ph_other_ = profiler_->definePhase("sim.other");
+        ph_region_apply_ = profiler_->definePhase("sim.region.apply");
         // Pre-register the classification targets so phaseOf never
         // defines a phase mid-run (definePhase is setup-time only).
         profiler_->definePhase("sim.router");
@@ -42,13 +151,15 @@ Simulator::bindProfiler(telemetry::PhaseProfiler *profiler)
         profiler_->definePhase("sim.network");
         profiler_->definePhase("sim.sampler");
     }
+    if (scheduler_)
+        scheduler_->bindProfiler(profiler_);
 }
 
 std::size_t
 Simulator::phaseOf(std::size_t i)
 {
-    if (phase_of_.size() != components_.size())
-        phase_of_.assign(components_.size(), kNoPhase);
+    ANOC_ASSERT(phase_of_.size() == components_.size(),
+                "phase cache out of sync with component registry");
     std::size_t &ph = phase_of_[i];
     if (ph == kNoPhase) {
         const std::string &n = components_[i]->name();
@@ -67,19 +178,29 @@ Simulator::phaseOf(std::size_t i)
 }
 
 void
-Simulator::profiledSweep(bool advance)
+Simulator::plainSweep(bool advance, std::size_t begin, std::size_t end)
+{
+    if (advance)
+        for (std::size_t i = begin; i < end; ++i)
+            components_[i]->advance(now_);
+    else
+        for (std::size_t i = begin; i < end; ++i)
+            components_[i]->evaluate(now_);
+}
+
+void
+Simulator::profiledSweep(bool advance, std::size_t begin, std::size_t end)
 {
     // Time contiguous same-phase runs, not individual components: the
     // network registers its routers and NIs in blocks, so one cycle
     // costs a handful of clock reads instead of one per component.
     using clock = std::chrono::steady_clock;
-    std::size_t i = 0;
-    const std::size_t n = components_.size();
-    while (i < n) {
+    std::size_t i = begin;
+    while (i < end) {
         const std::size_t ph = phaseOf(i);
         const auto t0 = clock::now();
         std::size_t j = i;
-        while (j < n && phaseOf(j) == ph) {
+        while (j < end && phaseOf(j) == ph) {
             if (advance)
                 components_[j]->advance(now_);
             else
@@ -100,8 +221,8 @@ Simulator::stepProfiled()
         telemetry::PhaseProfiler::Scope s(profiler_, ph_event_queue_);
         events_.runUntil(now_);
     }
-    profiledSweep(/*advance=*/false);
-    profiledSweep(/*advance=*/true);
+    profiledSweep(/*advance=*/false, 0, components_.size());
+    profiledSweep(/*advance=*/true, 0, components_.size());
     ++now_;
 }
 
@@ -114,13 +235,18 @@ Simulator::run(Cycle cycles)
 }
 
 bool
-Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles)
+Simulator::runUntil(const std::function<bool()> &done, Cycle max_cycles,
+                    Cycle check_interval)
 {
+    if (check_interval < 1)
+        check_interval = 1;
     Cycle end = now_ + max_cycles;
     while (now_ < end) {
         if (done())
             return true;
-        step();
+        Cycle burst = std::min(check_interval, end - now_);
+        while (burst--)
+            step();
     }
     return done();
 }

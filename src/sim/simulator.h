@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -20,6 +21,9 @@ namespace telemetry {
 class PhaseProfiler;
 } // namespace telemetry
 
+struct RegionPlan;
+class RegionScheduler;
+
 /**
  * Owns simulated time. Components are registered by raw pointer; the
  * caller keeps ownership (components typically live inside a Network
@@ -28,8 +32,11 @@ class PhaseProfiler;
 class Simulator
 {
   public:
+    Simulator();
+    ~Simulator();
+
     /** Register a component to be stepped every cycle. */
-    void add(Clocked *c) { components_.push_back(c); }
+    void add(Clocked *c);
 
     /** The shared event queue (delayed callbacks). */
     EventQueue &events() { return events_; }
@@ -42,11 +49,35 @@ class Simulator
     /**
      * Run until @p done returns true or @p max_cycles elapse.
      * @return true when @p done fired, false on cycle-limit timeout.
+     *
+     * @p check_interval throttles the (potentially expensive) @p done
+     * predicate: it is evaluated before every burst of that many
+     * cycles rather than every cycle, so completion can overshoot by
+     * up to `check_interval - 1` cycles of extra simulation — never
+     * past @p max_cycles. 1 (the default) checks every cycle.
      */
-    bool runUntil(const std::function<bool()> &done, Cycle max_cycles);
+    bool runUntil(const std::function<bool()> &done, Cycle max_cycles,
+                  Cycle check_interval = 1);
 
     /** Advance a single cycle. */
     void step();
+
+    /**
+     * Install a region partition for parallel stepping (see
+     * sim/region_scheduler.h for the plan shape and the component
+     * isolation contract). The plan's regions must cover a prefix of
+     * the registration order exactly once, each region's list in
+     * ascending registration order; components past that prefix form
+     * the serial tail, stepped on the calling thread each phase.
+     * Registering further components after this call simply grows the
+     * serial tail. @p threads caps pool parallelism (clamped to the
+     * region count; 0 = hardware concurrency). An empty plan (or
+     * a single region) restores plain serial stepping.
+     */
+    void setRegionPlan(RegionPlan plan, unsigned threads);
+
+    /** Regions currently stepped in parallel (0 = serial stepping). */
+    std::size_t regionCount() const;
 
     /**
      * Attach a self-profiler. Subsequent cycles are stepped through a
@@ -61,8 +92,12 @@ class Simulator
   private:
     /** One profiled cycle (profiler_ non-null). */
     void stepProfiled();
-    /** One timed evaluate-or-advance sweep over the components. */
-    void profiledSweep(bool advance);
+    /** One region-parallel cycle (scheduler_ non-null). */
+    void stepRegions();
+    /** One timed evaluate-or-advance sweep over [begin, end). */
+    void profiledSweep(bool advance, std::size_t begin, std::size_t end);
+    /** Untimed evaluate-or-advance sweep over [begin, end). */
+    void plainSweep(bool advance, std::size_t begin, std::size_t end);
     /** Phase id for component @p i, classified on first use. */
     std::size_t phaseOf(std::size_t i);
 
@@ -72,8 +107,16 @@ class Simulator
     telemetry::PhaseProfiler *profiler_ = nullptr;
     std::size_t ph_event_queue_ = 0;
     std::size_t ph_other_ = 0;
-    /** Cached phase per component index; kNoPhase = not classified. */
+    std::size_t ph_region_apply_ = 0;
+    /** Cached phase per component index; kNoPhase = not classified.
+     *  Invariant: same length as components_ (add() appends a
+     *  kNoPhase slot, so registration never reclassifies the rest). */
     std::vector<std::size_t> phase_of_;
+
+    std::unique_ptr<RegionScheduler> scheduler_;
+    /** Components [0, serial_prefix_) are covered by the region plan;
+     *  the rest step serially after each parallel phase. */
+    std::size_t serial_prefix_ = 0;
 };
 
 } // namespace approxnoc

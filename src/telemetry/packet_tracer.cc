@@ -21,6 +21,7 @@ void
 PacketTracer::span(std::uint32_t tid, const std::string &name, Cycle start,
                    Cycle dur, std::string args)
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     if (!admit())
         return;
     events_.push_back({name, 'X', start, dur, tid, std::move(args)});
@@ -30,6 +31,7 @@ void
 PacketTracer::instant(std::uint32_t tid, const std::string &name, Cycle ts,
                       std::string args)
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     if (!admit())
         return;
     events_.push_back({name, 'i', ts, 0, tid, std::move(args)});
@@ -39,6 +41,7 @@ void
 PacketTracer::counter(std::uint32_t tid, const std::string &name, Cycle ts,
                       double value)
 {
+    std::lock_guard<std::mutex> lock(mtx_);
     if (!admit())
         return;
     char buf[64];
@@ -49,18 +52,27 @@ PacketTracer::counter(std::uint32_t tid, const std::string &name, Cycle ts,
 void
 PacketTracer::writeJson(std::ostream &os) const
 {
-    // Stable sort keeps same-cycle events on a track in record order
-    // (e.g. vc_alloc before hop within one cycle).
+    // Canonical total order: same-key events are byte-identical in
+    // the output, so the file is a function of the event multiset —
+    // the record interleaving (serial vs region-parallel) is erased.
     std::vector<const TraceEvent *> order;
     order.reserve(events_.size());
     for (const auto &e : events_)
         order.push_back(&e);
-    std::stable_sort(order.begin(), order.end(),
-                     [](const TraceEvent *a, const TraceEvent *b) {
-                         if (a->tid != b->tid)
-                             return a->tid < b->tid;
-                         return a->ts < b->ts;
-                     });
+    std::sort(order.begin(), order.end(),
+              [](const TraceEvent *a, const TraceEvent *b) {
+                  if (a->tid != b->tid)
+                      return a->tid < b->tid;
+                  if (a->ts != b->ts)
+                      return a->ts < b->ts;
+                  if (a->ph != b->ph)
+                      return a->ph < b->ph;
+                  if (a->name != b->name)
+                      return a->name < b->name;
+                  if (a->dur != b->dur)
+                      return a->dur < b->dur;
+                  return a->args < b->args;
+              });
 
     os << "{\n\"traceEvents\": [";
     bool first = true;

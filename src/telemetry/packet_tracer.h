@@ -7,16 +7,27 @@
  * routers (per-flit VC allocation and switch/link traversal instants).
  * One simulated cycle is emitted as one microsecond of trace time.
  *
- * The writer sorts events by (pid, tid, ts), so timestamps are
- * monotonic within every track no matter when the events were recorded
- * — lifecycle spans are reconstructed at delivery time from the
- * packet's timestamps, out of order with the router instants.
+ * The writer sorts events by the full canonical key
+ * (tid, ts, ph, name, dur, args), so timestamps are monotonic within
+ * every track no matter when the events were recorded — lifecycle
+ * spans are reconstructed at delivery time from the packet's
+ * timestamps, out of order with the router instants — and the output
+ * is a pure function of the recorded event *multiset*: region-parallel
+ * stepping, which records the same events in a different interleaving,
+ * produces a byte-identical trace file. (Caveat: at the max_events
+ * cap, *which* events get dropped depends on record order, so
+ * cross-job byte equality only holds below the cap.)
+ *
+ * Recording is thread-safe (one mutex on the record path) so routers
+ * and NIs may trace from inside parallel region phases; the accessors
+ * and writeJson are for serial (post-run / post-barrier) use.
  */
 #ifndef APPROXNOC_TELEMETRY_PACKET_TRACER_H
 #define APPROXNOC_TELEMETRY_PACKET_TRACER_H
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -86,7 +97,9 @@ class PacketTracer
      * Emit `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Every
      * event carries name/cat/ph/ts/pid/tid (plus dur for spans); the
      * metadata (process/thread name) events lead, then payload events
-     * sorted by (tid, ts) for per-track monotonicity.
+     * in canonical (tid, ts, ph, name, dur, args) order — a total
+     * order, so the file depends only on what was recorded, never on
+     * the interleaving it was recorded in.
      */
     void writeJson(std::ostream &os) const;
 
@@ -99,6 +112,8 @@ class PacketTracer
     std::string process_name_;
     std::map<std::uint32_t, std::string> thread_names_;
     std::vector<TraceEvent> events_;
+    /** Serializes the record path (span/instant/counter). */
+    std::mutex mtx_;
 };
 
 } // namespace approxnoc::telemetry

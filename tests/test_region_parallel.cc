@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Region-parallel stepping tests: the byte-determinism contract
+ * (metrics, QoR and trace artifacts identical at any --sim-jobs, on
+ * mesh and torus, open- and closed-loop), the degenerate partition
+ * cases (more regions than rows, serial fallback), and the harness
+ * plumbing (ReplayJob.sim_jobs end to end). The RegionParallel suite
+ * also runs under TSan in CI, where the parallel sweeps' memory
+ * accesses — not just their results — are validated.
+ */
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/codec_factory.h"
+#include "harness/point_runner.h"
+#include "harness/trace_library.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+#include "telemetry/error_profile.h"
+#include "telemetry/telemetry.h"
+#include "traffic/closed_loop.h"
+#include "traffic/data_provider.h"
+#include "traffic/synthetic.h"
+
+using namespace approxnoc;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Every observable output of one run, rendered to strings in memory. */
+struct Artifacts {
+    std::string metrics;
+    std::string qor;
+    std::string trace;
+    std::uint64_t delivered = 0;
+    double total_lat = 0.0;
+    unsigned regions = 0;
+};
+
+/**
+ * One fully isolated simulation: @p sim_jobs region-parallel threads,
+ * synthetic uniform traffic (or the closed-loop generator), drained at
+ * the end so the artifacts cover complete packet lifecycles.
+ */
+Artifacts
+run_case(Topology topo, unsigned rows, unsigned cols, Scheme scheme,
+         unsigned sim_jobs, bool closed_loop = false)
+{
+    NocConfig ncfg;
+    ncfg.rows = rows;
+    ncfg.cols = cols;
+    ncfg.concentration = 2;
+    ncfg.topology = topo;
+    CodecConfig cc;
+    cc.n_nodes = ncfg.nodes();
+    cc.error_threshold_pct = 10.0;
+    auto codec = CodecFactory::create(scheme, cc);
+
+    Network net(ncfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    telemetry::ErrorProfile qor;
+    net.bindErrorProfile(&qor);
+
+    telemetry::TelemetryOptions topts;
+    topts.metrics_dir = "unused"; // enables the registry collectors
+    topts.trace_dir = "unused";   // enables the tracer; never written
+    telemetry::PointTelemetry pt(topts);
+    net.bindTelemetry(pt);
+
+    SyntheticDataProvider provider(DataType::Float32, 16, 0.9, 3.0, 7,
+                                   0.7, 8);
+    std::unique_ptr<SyntheticTraffic> synth;
+    std::unique_ptr<ClosedLoopTraffic> closed;
+    if (closed_loop) {
+        ClosedLoopConfig lc;
+        lc.seed = 7;
+        closed = std::make_unique<ClosedLoopTraffic>(net, lc, provider);
+        sim.add(closed.get());
+    } else {
+        SyntheticConfig tc;
+        tc.injection_rate = 0.15;
+        tc.data_packet_ratio = 0.3;
+        tc.seed = 7;
+        synth = std::make_unique<SyntheticTraffic>(net, tc, provider);
+        sim.add(synth.get());
+    }
+
+    Artifacts a;
+    a.regions = net.enableRegionParallel(sim, sim_jobs);
+
+    sim.run(2500);
+    if (synth)
+        synth->setEnabled(false);
+    if (closed)
+        closed->setEnabled(false);
+    bool drained = sim.runUntil(
+        [&] { return net.drained() && (!closed || closed->quiesced()); },
+        200000);
+    EXPECT_TRUE(drained) << "network failed to drain";
+
+    net.collectTelemetry(*pt.metrics());
+    std::ostringstream ms, qs, ts;
+    pt.metrics()->writeJson(ms);
+    qor.writeJson(qs);
+    pt.tracer()->writeJson(ts);
+    a.metrics = ms.str();
+    a.qor = qs.str();
+    a.trace = ts.str();
+    a.delivered = net.stats().packets_delivered.value();
+    a.total_lat = net.stats().total_lat.mean();
+    return a;
+}
+
+/** jobs=1 vs jobs=N: every artifact byte-identical. */
+void
+expect_identical(const Artifacts &serial, const Artifacts &par)
+{
+    EXPECT_GT(serial.delivered, 0u);
+    EXPECT_EQ(serial.delivered, par.delivered);
+    EXPECT_EQ(serial.total_lat, par.total_lat);
+    EXPECT_EQ(serial.metrics, par.metrics);
+    EXPECT_EQ(serial.qor, par.qor);
+    EXPECT_EQ(serial.trace, par.trace);
+}
+
+} // namespace
+
+TEST(RegionParallel, Mesh4x4ByteIdentical)
+{
+    Artifacts serial =
+        run_case(Topology::Mesh, 4, 4, Scheme::DiVaxx, 1);
+    Artifacts par = run_case(Topology::Mesh, 4, 4, Scheme::DiVaxx, 4);
+    EXPECT_EQ(serial.regions, 1u);
+    EXPECT_EQ(par.regions, 4u);
+    expect_identical(serial, par);
+}
+
+TEST(RegionParallel, Mesh8x8ByteIdentical)
+{
+    Artifacts serial =
+        run_case(Topology::Mesh, 8, 8, Scheme::FpVaxx, 1);
+    Artifacts par = run_case(Topology::Mesh, 8, 8, Scheme::FpVaxx, 4);
+    EXPECT_EQ(par.regions, 4u);
+    expect_identical(serial, par);
+}
+
+TEST(RegionParallel, TorusClosedLoopByteIdentical)
+{
+    // Torus wrap links make the first and last row stripes neighbors —
+    // the deferred-handoff path in both directions — and the
+    // closed-loop generator exercises the delivery replay (its reply
+    // injection consumes deliveries in serial order).
+    Artifacts serial = run_case(Topology::Torus, 4, 4, Scheme::DiComp, 1,
+                                /*closed_loop=*/true);
+    Artifacts par = run_case(Topology::Torus, 4, 4, Scheme::DiComp, 4,
+                             /*closed_loop=*/true);
+    EXPECT_EQ(par.regions, 4u);
+    expect_identical(serial, par);
+}
+
+TEST(RegionParallel, RegionCountClampsToRows)
+{
+    // More requested regions than router rows: the partition clamps to
+    // one stripe per row and stays byte-deterministic.
+    Artifacts serial =
+        run_case(Topology::Mesh, 4, 4, Scheme::Baseline, 1);
+    Artifacts par =
+        run_case(Topology::Mesh, 4, 4, Scheme::Baseline, 64);
+    EXPECT_EQ(par.regions, 4u);
+    expect_identical(serial, par);
+}
+
+TEST(RegionParallel, SerialFallbackAtOneJob)
+{
+    NocConfig ncfg;
+    CodecConfig cc;
+    cc.n_nodes = ncfg.nodes();
+    auto codec = CodecFactory::create(Scheme::Baseline, cc);
+    Network net(ncfg, codec.get());
+    Simulator sim;
+    net.attach(sim);
+
+    EXPECT_EQ(net.enableRegionParallel(sim, 1), 1u);
+    EXPECT_EQ(sim.regionCount(), 0u) << "jobs=1 must not install a plan";
+
+    // And a real plan reports its regions.
+    EXPECT_EQ(net.enableRegionParallel(sim, 3), 3u);
+    EXPECT_EQ(sim.regionCount(), 3u);
+    sim.run(10);
+}
+
+TEST(RegionParallel, HarnessReplayByteIdentical)
+{
+    // The ReplayJob.sim_jobs plumbing end to end: same trace replay,
+    // artifacts written to disk by the standard point executor.
+    using namespace harness;
+    TraceLibrary lib;
+    auto replay = [&](unsigned sim_jobs, const std::string &dir) {
+        ReplayJob job;
+        job.scheme = Scheme::FpVaxx;
+        job.max_records = 300;
+        job.sim_jobs = sim_jobs;
+        job.telemetry.metrics_dir = dir;
+        job.telemetry.trace_dir = dir;
+        job.telemetry.label = "rp";
+        return run_replay(lib.get("blackscholes"), job);
+    };
+    const std::string d1 = ::testing::TempDir() + "region_replay_j1";
+    const std::string d4 = ::testing::TempDir() + "region_replay_j4";
+    ReplayResult r1 = replay(1, d1);
+    ReplayResult r4 = replay(4, d4);
+
+    EXPECT_GT(r1.packets, 0u);
+    EXPECT_EQ(r1.packets, r4.packets);
+    EXPECT_EQ(r1.total_lat, r4.total_lat);
+    for (const char *f :
+         {"rp.metrics.json", "rp.qor.json", "rp.trace.json"}) {
+        std::string a = slurp(d1 + "/" + f);
+        ASSERT_FALSE(a.empty()) << f;
+        EXPECT_EQ(a, slurp(d4 + "/" + f)) << f;
+    }
+}
+
+#ifdef APPROXNOC_SIM_TOOL
+TEST(RegionParallelTool, CliArtifactsByteIdentical)
+{
+    // The --sim-jobs CLI path on both topologies, compared at the file
+    // level (the artifacts CI's smoke jobs look at). Kept out of the
+    // RegionParallel suite so the TSan job doesn't re-run the
+    // subprocesses.
+    if (!std::ifstream(APPROXNOC_SIM_TOOL).good())
+        GTEST_SKIP() << "approxnoc_sim not built";
+    struct Case {
+        const char *name;
+        const char *flags;
+    } cases[] = {
+        {"mesh", "--cycles=2000"},
+        {"torus", "--topology=torus --scheme=DI-VAXX --cycles=2000"},
+    };
+    for (const Case &c : cases) {
+        const std::string d1 =
+            ::testing::TempDir() + "rp_tool_" + c.name + "_j1";
+        const std::string d4 =
+            ::testing::TempDir() + "rp_tool_" + c.name + "_j4";
+        for (const auto &[dir, jobs] :
+             {std::pair<std::string, const char *>{d1, "1"}, {d4, "4"}}) {
+            std::string cmd = std::string(APPROXNOC_SIM_TOOL) + " " +
+                              c.flags + " --quiet --metrics-out=" + dir +
+                              " --sim-jobs=" + jobs +
+                              " > /dev/null 2>&1";
+            ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+        }
+        for (const char *f : {"qor.json"}) {
+            std::string a = slurp(d1 + "/" + f);
+            ASSERT_FALSE(a.empty()) << c.name << "/" << f;
+            EXPECT_EQ(a, slurp(d4 + "/" + f)) << c.name << "/" << f;
+        }
+        // The per-scheme metrics file name depends on the scheme flag.
+        const char *mfile =
+            std::string(c.name) == "mesh" ? "fp_vaxx.metrics.json"
+                                          : "di_vaxx.metrics.json";
+        EXPECT_EQ(slurp(d1 + "/" + mfile), slurp(d4 + "/" + mfile))
+            << c.name;
+    }
+}
+#endif

@@ -3,6 +3,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
+#include "telemetry/phase_profiler.h"
 
 using namespace approxnoc;
 
@@ -102,6 +103,49 @@ TEST(Simulator, RunUntilPredicate)
     EXPECT_EQ(sim.now(), 10u);
     ok = sim.runUntil([] { return false; }, 5);
     EXPECT_FALSE(ok);
+}
+
+TEST(Simulator, RunUntilCheckIntervalBurstsAndOvershoots)
+{
+    // With check_interval=10 the predicate runs before each burst of
+    // 10 cycles: done-at-5 is noticed at 10 (documented overshoot).
+    Simulator sim;
+    int checks = 0;
+    bool ok = sim.runUntil(
+        [&] {
+            ++checks;
+            return sim.now() >= 5;
+        },
+        1000, /*check_interval=*/10);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_EQ(checks, 2);
+
+    // The burst never runs past max_cycles.
+    ok = sim.runUntil([] { return false; }, 15, /*check_interval=*/10);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(sim.now(), 25u);
+}
+
+TEST(Simulator, ProfilerSurvivesLateRegistration)
+{
+    // Regression test: the per-component phase cache used to be built
+    // lazily from a stale size, so registering a component after the
+    // first profiled step indexed out of bounds. add() now grows the
+    // cache eagerly, keeping it in lockstep with the component list.
+    Simulator sim;
+    telemetry::PhaseProfiler prof;
+    std::vector<std::string> log;
+    PhaseProbe p1(log, "1");
+    sim.add(&p1);
+    sim.bindProfiler(&prof);
+    sim.step();
+
+    PhaseProbe p2(log, "2");
+    sim.add(&p2);
+    sim.step();
+    EXPECT_EQ(log, (std::vector<std::string>{"e1", "a1", "e1", "e2",
+                                             "a1", "a2"}));
 }
 
 TEST(Simulator, EventsFireBeforeComponents)

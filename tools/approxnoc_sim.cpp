@@ -67,6 +67,8 @@ usage()
         "  --trace=<file> [--load=0.04]   (replaces synthetic traffic)\n"
         "  --closed-loop [--window=4 --think=4]\n"
         "  --cycles=100000 --warmup=0 --seed=42\n"
+        "  --sim-jobs=<n>       (region-parallel stepping threads, 0=auto,\n"
+        "                        1=serial; results byte-identical)\n"
         "  --qos-target=<pct>   (enable the online error-control loop)\n"
         "  --compare=<all|s,s>  (one sim per scheme, parallel with --jobs)\n"
         "  --jobs=<n>           (worker threads for --compare, 0=auto)\n"
@@ -248,6 +250,12 @@ run_sim(const CliArgs &args, Scheme scheme, bool dump, bool labeled = false)
             2000);
         sim.add(qos.get());
     }
+
+    // Region-parallel stepping, enabled after every component joined
+    // the simulator so the traffic/QoS sources land in the serial tail.
+    unsigned sim_jobs = static_cast<unsigned>(args.getInt("sim-jobs", 1));
+    if (sim_jobs != 1)
+        net.enableRegionParallel(sim, sim_jobs);
 
     if (warmup > 0) {
         sim.run(warmup);
