@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Self-test for anoc-lint (tools/anoc_lint) using fixture trees.
+
+Exercises the contract the lint CI job relies on, one fixture per rule:
+a positive match for D1/D2/C1/C2, suppression honored (exit 0),
+suppression-without-reason rejected (SUP + the finding stays active),
+scope propagation through the include graph, --fix convergence and
+idempotence, the JSON report shape, and the exit-code contract
+(0 clean / 1 findings / 2 bad root). Registered as a ctest
+(anoc_lint_selftest).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "tools", "anoc_lint", "anoc_lint.py")
+
+
+def make_tree(root, files):
+    """Write {relpath: text} under root, creating directories."""
+    for rel, text in files.items():
+        full = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w", encoding="utf-8") as f:
+            f.write(text)
+
+
+def run(root, *argv):
+    p = subprocess.run([sys.executable, SCRIPT, "--root", root, *argv],
+                       capture_output=True, text=True)
+    return p.returncode, p.stdout + p.stderr
+
+
+CONTRACT_H = """
+#define ANOC_ISOLATION_CONTRACT(...) static_assert(true, "marker")
+#define ANOC_SHARD_LOCAL
+#define ANOC_CROSS_SHARD(kind)
+#define ANOC_REGION_SHARED
+"""
+
+CLEAN_CC = """
+#include "common/contract.h"
+int clean_fn(int x) { return x + 1; }
+"""
+
+
+def main():
+    failures = []
+
+    def check(name, cond, detail=""):
+        if not cond:
+            failures.append(f"{name}: {detail}")
+            print(f"FAIL {name}")
+        else:
+            print(f"ok   {name}")
+
+    def check_exit(name, got, want, output):
+        check(name, got == want, f"exit {got}, wanted {want}\n{output}")
+
+    # --- clean tree: exit 0 ------------------------------------------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {"src/common/contract.h": CONTRACT_H,
+                      "src/sim/clean.cc": CLEAN_CC})
+        rc, out = run(d)
+        check_exit("clean-tree", rc, 0, out)
+
+    # --- D1: nondeterminism sources, in and out of scope -------------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/sim/clock.cc":
+                "#include <chrono>\n"
+                "long t() { return std::chrono::steady_clock::now()"
+                ".time_since_epoch().count(); }\n",
+            "src/sim/entropy.cc":
+                "#include <cstdlib>\n"
+                "int r() { return rand(); }\n",
+            # Same sins outside the determinism scope: not flagged.
+            "tools/offline.cc":
+                "#include <cstdlib>\n"
+                "int r() { return rand(); }\n",
+        })
+        rc, out = run(d)
+        check_exit("d1-positive", rc, 1, out)
+        check("d1-clock-named", "clock.cc" in out and "[D1]" in out, out)
+        check("d1-rand-named", "entropy.cc" in out, out)
+        check("d1-out-of-scope", "offline.cc" not in out, out)
+
+    # --- D1 scope propagation through the include graph --------------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            # Helper lives outside the scoped dirs...
+            "src/util/seedless.h": "inline int bad() { return rand(); }\n",
+            # ...but a scoped file includes it, pulling it into scope.
+            "src/sim/uses.cc": '#include "util/seedless.h"\n',
+        })
+        rc, out = run(d)
+        check_exit("d1-include-scope", rc, 1, out)
+        check("d1-include-scope-file", "seedless.h" in out, out)
+
+    # --- D2: unordered-container iteration ---------------------------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/telemetry/walk.cc":
+                "#include <unordered_map>\n"
+                "#include <string>\n"
+                "std::unordered_map<int, std::string> tbl;\n"
+                "void dump() {\n"
+                "    for (auto &kv : tbl) { (void)kv; }\n"
+                "    auto it = tbl.begin(); (void)it;\n"
+                "}\n",
+        })
+        rc, out = run(d)
+        check_exit("d2-positive", rc, 1, out)
+        check("d2-both-sites", out.count("[D2]") == 2, out)
+
+    # --- C1: contract-class field annotations ------------------------
+    c1_files = {
+        "src/common/contract.h": CONTRACT_H,
+        "src/common/relaxed_counter.h": "class RelaxedCounter {};\n",
+        "src/compression/widget.h":
+            '#include "common/contract.h"\n'
+            '#include "common/relaxed_counter.h"\n'
+            "class Widget {\n"
+            "  public:\n"
+            "    ANOC_ISOLATION_CONTRACT(flow_isolation);\n"
+            "    int lookup(int k) const;\n"
+            "  private:\n"
+            "    unsigned long table_ = 0;\n"         # unannotated
+            "    RelaxedCounter hits_;\n"             # unannotated
+            "    ANOC_CROSS_SHARD(long) long bad_;\n"  # wrong arg
+            "};\n",
+    }
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, c1_files)
+        rc, out = run(d)
+        check_exit("c1-positive", rc, 1, out)
+        check("c1-count", out.count("[C1]") == 3, out)
+        check("c1-names-field", "table_" in out and "bad_" in out, out)
+
+    # --- C1 --fix: converges, picks the right macro, idempotent ------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, c1_files)
+        widget = os.path.join(d, "src/compression/widget.h")
+        rc, out = run(d, "--fix")
+        # The wrong-arg finding is not mechanical, so one finding stays.
+        check_exit("fix-leaves-nonmechanical", rc, 1, out)
+        with open(widget, encoding="utf-8") as f:
+            fixed = f.read()
+        check("fix-shard-local",
+              "ANOC_SHARD_LOCAL unsigned long table_" in fixed, fixed)
+        check("fix-relaxed-counter",
+              "ANOC_CROSS_SHARD(RelaxedCounter) RelaxedCounter hits_"
+              in fixed, fixed)
+        rc2, _ = run(d, "--fix")
+        with open(widget, encoding="utf-8") as f:
+            refixed = f.read()
+        check("fix-idempotent", refixed == fixed,
+              "second --fix changed the file")
+
+    # --- C2: deprecated include, double probe, notify_delay ----------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/harness/user.cc":
+                '#include "harness/flow_sharded_encoder.h"\n',
+            "src/compression/probe.cc":
+                "int f(Tcam &pmt, unsigned w) {\n"
+                "    auto hit = pmt.search(w);\n"
+                "    auto all = pmt.searchAll(w);\n"
+                "    return (int)(hit && !all.empty());\n"
+                "}\n",
+            "src/sim/cfg.cc":
+                "struct C { int notify_delay; };\n"
+                "C make() { C c; c.notify_delay = 0; return c; }\n",
+        })
+        rc, out = run(d)
+        check_exit("c2-positive", rc, 1, out)
+        check("c2-deprecated-include",
+              "flow_sharded_encoder" in out, out)
+        check("c2-double-probe", "double probe" in out, out)
+        check("c2-notify-delay", "notify_delay" in out, out)
+
+    # --- suppressions: honored with a reason, rejected without -------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/sim/ok.cc":
+                "#include <cstdlib>\n"
+                "// anoc-lint: allow(D1) -- test vector generation,"
+                " replayed from a recorded seed\n"
+                "int r() { return rand(); }\n",
+        })
+        rc, out = run(d)
+        check_exit("suppression-honored", rc, 0, out)
+        check("suppression-counted", "1 suppressed" in out, out)
+
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/sim/bad.cc":
+                "#include <cstdlib>\n"
+                "// anoc-lint: allow(D1)\n"
+                "int r() { return rand(); }\n",
+        })
+        rc, out = run(d)
+        check_exit("reasonless-rejected", rc, 1, out)
+        check("reasonless-sup-finding", "[SUP]" in out, out)
+        check("reasonless-keeps-finding", "[D1]" in out, out)
+
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/sim/unknown.cc":
+                "// anoc-lint: allow(Z9) -- no such rule\n"
+                "int x;\n",
+        })
+        rc, out = run(d)
+        check_exit("unknown-rule-rejected", rc, 1, out)
+        check("unknown-rule-named", "Z9" in out, out)
+
+    # --- JSON report --------------------------------------------------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/sim/entropy.cc": "int r() { return rand(); }\n",
+        })
+        report = os.path.join(d, "lint.json")
+        rc, out = run(d, "--json", report)
+        check_exit("json-exit", rc, 1, out)
+        with open(report, encoding="utf-8") as f:
+            rep = json.load(f)
+        check("json-schema", rep.get("schema") == "anoc-lint-v1", rep)
+        check("json-counts", rep["counts"]["active"] == 1, rep)
+        check("json-finding-shape",
+              rep["findings"][0]["rule"] == "D1"
+              and rep["findings"][0]["file"] == "src/sim/entropy.cc",
+              rep)
+
+    # --- path restriction ---------------------------------------------
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            "src/sim/entropy.cc": "int r() { return rand(); }\n",
+            "src/noc/clean.cc": CLEAN_CC,
+        })
+        rc, out = run(d, "src/noc")
+        check_exit("paths-restrict", rc, 0, out)
+        rc, out = run(d, "src/sim")
+        check_exit("paths-hit", rc, 1, out)
+
+    # --- bad root: exit 2 ---------------------------------------------
+    with tempfile.TemporaryDirectory() as d:
+        rc, out = run(os.path.join(d, "nowhere"))
+        check_exit("bad-root", rc, 2, out)
+
+    # --- the real tree stays clean ------------------------------------
+    rc, out = run(REPO)
+    check_exit("real-tree-clean", rc, 0, out)
+
+    if failures:
+        print("\n".join(["", *failures]), file=sys.stderr)
+        return 1
+    print("anoc_lint selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,8 @@ double avcl_relative_error(Word w, Word candidate, DataType t);
 class Avcl
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation);
+
     explicit Avcl(const ErrorModel &model) : model_(model) {}
 
     const ErrorModel &errorModel() const { return model_; }
@@ -77,11 +79,11 @@ class Avcl
     std::uint64_t activations() const { return activations_; }
 
   private:
-    ErrorModel model_;
+    ANOC_REGION_SHARED ErrorModel model_;
     /** Relaxed-atomic: one Avcl instance is shared by every encoder
      * node of a codec, so concurrent per-flow encode shards race only
      * on this commutative count — the datapath itself is pure. */
-    RelaxedCounter activations_;
+    ANOC_CROSS_SHARD(RelaxedCounter) RelaxedCounter activations_;
 };
 
 } // namespace approxnoc

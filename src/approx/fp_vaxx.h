@@ -8,6 +8,7 @@
 #define APPROXNOC_APPROX_FP_VAXX_H
 
 #include "approx/avcl.h"
+#include "common/contract.h"
 #include "compression/fpc.h"
 
 namespace approxnoc {
@@ -28,6 +29,8 @@ enum class FpcPriorityMode : std::uint8_t {
 class FpVaxxCodec : public CodecSystem
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     explicit FpVaxxCodec(const ErrorModel &model,
                          FpcPriorityMode mode = FpcPriorityMode::PreferApprox)
         : avcl_(model), mode_(mode)
@@ -73,8 +76,10 @@ class FpVaxxCodec : public CodecSystem
     }
 
   private:
-    Avcl avcl_;
-    FpcPriorityMode mode_;
+    /** Shared read-only analysis logic; its activation count is the
+     * Avcl class's own relaxed-atomic contract state. */
+    ANOC_REGION_SHARED Avcl avcl_;
+    ANOC_REGION_SHARED FpcPriorityMode mode_;
 };
 
 } // namespace approxnoc

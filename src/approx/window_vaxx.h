@@ -15,6 +15,7 @@
 
 #include "approx/avcl.h"
 #include "approx/fp_vaxx.h"
+#include "common/contract.h"
 #include "compression/fpc.h"
 
 namespace approxnoc {
@@ -23,6 +24,8 @@ namespace approxnoc {
 class WindowVaxxCodec : public CodecSystem
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     /**
      * @param model base error model; the window budget is
      *        model.thresholdPct() * words-per-block percent-words.
@@ -55,8 +58,13 @@ class WindowVaxxCodec : public CodecSystem
     }
 
   private:
-    ErrorModel model_;
-    double per_word_cap_;
+    ANOC_REGION_SHARED ErrorModel model_;
+    ANOC_REGION_SHARED double per_word_cap_;
+    /** Serial-only diagnostic: a plain double overwritten by every
+     * encode regardless of src, so under sharded encode its value is
+     * whichever shard wrote last. Read only by serial tests; not part
+     * of any artifact, hence exempt rather than RelaxedCounter. */
+    // anoc-lint: allow(C1) -- last-writer-wins diagnostic, read only by serial tests, never feeds artifacts
     double last_spent_ = 0.0;
 };
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/contract.h"
 #include "compression/codec.h"
 
 namespace approxnoc {
@@ -33,6 +34,8 @@ struct AdaptiveConfig {
 class AdaptiveCodec : public CodecSystem
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     AdaptiveCodec(std::unique_ptr<CodecSystem> inner, AdaptiveConfig cfg);
 
     Scheme scheme() const override { return inner_->scheme(); }
@@ -126,14 +129,14 @@ class AdaptiveCodec : public CodecSystem
                             Cycle now, bool batched);
     void evaluateWindow(SenderState &s);
 
-    std::unique_ptr<CodecSystem> inner_;
-    AdaptiveConfig cfg_;
+    ANOC_REGION_SHARED std::unique_ptr<CodecSystem> inner_;
+    ANOC_REGION_SHARED AdaptiveConfig cfg_;
     /** Mode windows are per sender, preserving the CodecSystem
      * flow-isolation contract: concurrent encodes for distinct src
      * touch disjoint SenderStates. */
-    std::vector<SenderState> senders_;
+    ANOC_SHARD_LOCAL std::vector<SenderState> senders_;
     /** Relaxed-atomic: the only cross-sender encode-side state. */
-    RelaxedCounter bypassed_;
+    ANOC_CROSS_SHARD(RelaxedCounter) RelaxedCounter bypassed_;
 };
 
 } // namespace approxnoc

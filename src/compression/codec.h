@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/data_block.h"
 #include "common/relaxed_counter.h"
 #include "common/stats.h"
@@ -120,6 +121,8 @@ struct CodecCounters {
 class CodecSystem
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     virtual ~CodecSystem() = default;
 
     CodecSystem() = default;
@@ -333,13 +336,15 @@ class CodecSystem
      * parallel per-flow encode shards and per-destination decode
      * shards produce the same totals as a serial run (see the
      * isolation contracts above). */
-    RelaxedCounter mismatches_;
-    RelaxedCounter words_encoded_;
-    RelaxedCounter words_decoded_;
-    CodecCounters counters_;
-    telemetry::ErrorProfile *qor_ = nullptr;
-    telemetry::PhaseProfiler *profiler_ = nullptr;
-    std::size_t apply_pending_phase_ = 0;
+    ANOC_CROSS_SHARD(RelaxedCounter) RelaxedCounter mismatches_;
+    ANOC_CROSS_SHARD(RelaxedCounter) RelaxedCounter words_encoded_;
+    ANOC_CROSS_SHARD(RelaxedCounter) RelaxedCounter words_decoded_;
+    /** Bind-time handles; the pointed-to Counters are themselves
+     * relaxed-atomic (common/stats.h), so shard increments commute. */
+    ANOC_REGION_SHARED CodecCounters counters_;
+    ANOC_REGION_SHARED telemetry::ErrorProfile *qor_ = nullptr;
+    ANOC_REGION_SHARED telemetry::PhaseProfiler *profiler_ = nullptr;
+    ANOC_REGION_SHARED std::size_t apply_pending_phase_ = 0;
 };
 
 /**
@@ -349,6 +354,8 @@ class CodecSystem
 class BaselineCodec : public CodecSystem
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     Scheme scheme() const override { return Scheme::Baseline; }
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
                         Cycle now) override;

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/types.h"
 
 #include "compression/codec.h"
@@ -85,6 +86,8 @@ enum class DiWordKind : std::uint8_t {
 class DictionaryCodecBase : public CodecSystem
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     explicit DictionaryCodecBase(const DictionaryConfig &cfg);
 
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
@@ -189,8 +192,8 @@ class DictionaryCodecBase : public CodecSystem
     /** Word length of a raw unit, in bits (flag + word). */
     std::uint16_t rawBits() const { return 1 + 32; }
 
-    DictionaryConfig cfg_;
-    unsigned index_bits_;
+    ANOC_REGION_SHARED DictionaryConfig cfg_;
+    ANOC_REGION_SHARED unsigned index_bits_;
 
   private:
     /** Shared encode tail: meta, incompressible-block fallback (after
@@ -228,7 +231,7 @@ class DictionaryCodecBase : public CodecSystem
         DecoderState(const DictionaryConfig &cfg);
     };
 
-    std::vector<DecoderState> decoders_;
+    ANOC_SHARD_LOCAL std::vector<DecoderState> decoders_;
     /**
      * Pending update channels, [encoder][decoder]: the update FIFO
      * from one decoder towards one encoder. Splitting the historical
@@ -237,7 +240,11 @@ class DictionaryCodecBase : public CodecSystem
      * destination shard, and applyPending merges them in a
      * deterministic order (see above).
      */
-    std::vector<std::vector<std::deque<Update>>> pending_;
+    /** Shard-local in both phases, under different keys: channel
+     * [e][d] is written only by destination shard d (decode phase)
+     * and drained only by source shard e (encode phase), and the two
+     * phases never overlap (the pipeline's phasing obligation). */
+    ANOC_SHARD_LOCAL std::vector<std::vector<std::deque<Update>>> pending_;
     /**
      * Relaxed-atomic occupancy gate per encoder: total updates queued
      * across that encoder's channels, so the per-block applyPending
@@ -246,8 +253,8 @@ class DictionaryCodecBase : public CodecSystem
      * so the gate never diverges from the channel contents between
      * phases.
      */
-    std::vector<RelaxedCounter> pending_count_;
-    RelaxedCounter notifications_sent_;
+    ANOC_CROSS_SHARD(RelaxedCounter) std::vector<RelaxedCounter> pending_count_;
+    ANOC_CROSS_SHARD(RelaxedCounter) RelaxedCounter notifications_sent_;
 };
 
 /**
@@ -258,6 +265,8 @@ class DictionaryCodecBase : public CodecSystem
 class DiCompCodec : public DictionaryCodecBase
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     explicit DiCompCodec(const DictionaryConfig &cfg);
 
     Scheme scheme() const override { return Scheme::DiComp; }
@@ -301,7 +310,7 @@ class DiCompCodec : public DictionaryCodecBase
      * lookup, then the per-destination index check. */
     EncodedWord encodeOne(EncoderState &e, Word w, NodeId dst);
 
-    std::vector<EncoderState> encoders_;
+    ANOC_SHARD_LOCAL std::vector<EncoderState> encoders_;
 };
 
 } // namespace approxnoc

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "common/contract.h"
 #include "common/types.h"
 
 #include "compression/codec.h"
@@ -88,6 +89,8 @@ std::uint64_t fpc_decode_block(const EncodedBlock &enc,
 class FpcCodec : public CodecSystem
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     FpcCodec() = default;
 
     Scheme scheme() const override { return Scheme::FpComp; }

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/data_block.h"
 #include "common/types.h"
 #include "compression/codec.h"
@@ -128,6 +129,8 @@ struct DecodeRequest {
 class FlowShardedEncoder
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation);
+
     explicit FlowShardedEncoder(CodecSystem &codec, unsigned jobs = 1);
 
     /** Worker count after resolving 0 -> hardware concurrency. */
@@ -151,11 +154,14 @@ class FlowShardedEncoder
     const ShardStats &stats() const { return stats_; }
 
   private:
-    CodecSystem &codec_;
-    ExperimentRunner runner_;
-    std::size_t last_shards_ = 0;
-    bool profiling_ = false;
-    ShardStats stats_;
+    /** The codec is the shared substrate the shards run over; its own
+     * contract (per-src encoder state) makes that safe. */
+    ANOC_REGION_SHARED CodecSystem &codec_;
+    ANOC_REGION_SHARED ExperimentRunner runner_;
+    /** Batch bookkeeping, written only between batches (serial). */
+    ANOC_REGION_SHARED std::size_t last_shards_ = 0;
+    ANOC_REGION_SHARED bool profiling_ = false;
+    ANOC_REGION_SHARED ShardStats stats_;
 };
 
 /**
@@ -171,6 +177,8 @@ class FlowShardedEncoder
 class FlowShardedDecoder
 {
   public:
+    ANOC_ISOLATION_CONTRACT(destination_isolation);
+
     explicit FlowShardedDecoder(CodecSystem &codec, unsigned jobs = 1);
 
     /** Worker count after resolving 0 -> hardware concurrency. */
@@ -193,11 +201,14 @@ class FlowShardedDecoder
     const ShardStats &stats() const { return stats_; }
 
   private:
-    CodecSystem &codec_;
-    ExperimentRunner runner_;
-    std::size_t last_shards_ = 0;
-    bool profiling_ = false;
-    ShardStats stats_;
+    /** The codec is the shared substrate the shards run over; its own
+     * contract (per-dst decoder state) makes that safe. */
+    ANOC_REGION_SHARED CodecSystem &codec_;
+    ANOC_REGION_SHARED ExperimentRunner runner_;
+    /** Batch bookkeeping, written only between batches (serial). */
+    ANOC_REGION_SHARED std::size_t last_shards_ = 0;
+    ANOC_REGION_SHARED bool profiling_ = false;
+    ANOC_REGION_SHARED ShardStats stats_;
 };
 
 /**
@@ -211,6 +222,8 @@ class FlowShardedDecoder
 class ShardedCodecPipeline
 {
   public:
+    ANOC_ISOLATION_CONTRACT(flow_isolation, destination_isolation);
+
     /** Same worker count on both sides. */
     explicit ShardedCodecPipeline(CodecSystem &codec, unsigned jobs = 1)
         : ShardedCodecPipeline(codec, jobs, jobs)
@@ -277,8 +290,8 @@ class ShardedCodecPipeline
     FlowShardedDecoder &decoder() { return decoder_; }
 
   private:
-    FlowShardedEncoder encoder_;
-    FlowShardedDecoder decoder_;
+    ANOC_REGION_SHARED FlowShardedEncoder encoder_;
+    ANOC_REGION_SHARED FlowShardedDecoder decoder_;
 };
 
 } // namespace approxnoc::harness

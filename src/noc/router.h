@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/types.h"
 #include "noc/noc_config.h"
 #include "noc/packet.h"
@@ -45,6 +46,8 @@ class FlitSource
 class Router : public Clocked, public FlitSource
 {
   public:
+    ANOC_ISOLATION_CONTRACT(region_isolation);
+
     /**
      * Computes the allowed output ports for a packet at this router,
      * in preference order. Deterministic algorithms return one entry;
@@ -151,14 +154,18 @@ class Router : public Clocked, public FlitSource
         bool valid() const { return in_port >= 0; }
     };
 
-    RouterId id_;
-    NocConfig cfg_;
-    RouteFn route_;
-    unsigned n_ports_;
+    ANOC_REGION_SHARED RouterId id_;
+    ANOC_REGION_SHARED NocConfig cfg_;
+    ANOC_REGION_SHARED RouteFn route_;
+    ANOC_REGION_SHARED unsigned n_ports_;
 
-    std::vector<InPort> in_;
-    std::vector<OutPort> out_;
-    std::vector<Grant> grants_; ///< per output port, recomputed each cycle
+    /** Pipeline state is written only by this router's own
+     * evaluate/advance, i.e. only by the region that owns it; peers
+     * deposit flits/credits via acceptFlit/creditReturn, which the
+     * upstream router calls in-region or defers (flushDeferred). */
+    ANOC_SHARD_LOCAL std::vector<InPort> in_;
+    ANOC_SHARD_LOCAL std::vector<OutPort> out_;
+    ANOC_SHARD_LOCAL std::vector<Grant> grants_; ///< per output port, recomputed each cycle
 
     /** Downstream VC class a flit may allocate (dateline discipline). */
     int allowedVcClass(const InPort &in, unsigned in_vc,
@@ -167,9 +174,9 @@ class Router : public Clocked, public FlitSource
     /** Resolve the route candidates to one output port (adaptive). */
     unsigned selectRoute(const Packet &pkt) const;
 
-    unsigned rr_in_ = 0; ///< round-robin pointer over input ports
-    std::vector<unsigned> rr_vc_; ///< per-input round-robin over VCs
-    bool class_aware_ = false; ///< any link tagged => dateline VCs on
+    ANOC_SHARD_LOCAL unsigned rr_in_ = 0; ///< round-robin pointer over input ports
+    ANOC_SHARD_LOCAL std::vector<unsigned> rr_vc_; ///< per-input round-robin over VCs
+    ANOC_REGION_SHARED bool class_aware_ = false; ///< any link tagged => dateline VCs on
 
     /** Cross-region outboxes (see flushDeferred). The vectors keep
      *  their capacity across cycles, so steady state never allocates. */
@@ -184,16 +191,16 @@ class Router : public Clocked, public FlitSource
         unsigned port;
         unsigned vc;
     };
-    std::vector<DeferredFlit> defer_flits_;
-    std::vector<DeferredCredit> defer_credits_;
+    ANOC_SHARD_LOCAL std::vector<DeferredFlit> defer_flits_;
+    ANOC_SHARD_LOCAL std::vector<DeferredCredit> defer_credits_;
 
-    std::uint64_t flits_forwarded_ = 0;
-    std::uint64_t buffer_writes_ = 0;
-    std::uint64_t vc_allocs_ = 0;
-    std::uint64_t link_traversals_ = 0;
-    std::uint64_t vc_stalls_ = 0;
+    ANOC_SHARD_LOCAL std::uint64_t flits_forwarded_ = 0;
+    ANOC_SHARD_LOCAL std::uint64_t buffer_writes_ = 0;
+    ANOC_SHARD_LOCAL std::uint64_t vc_allocs_ = 0;
+    ANOC_SHARD_LOCAL std::uint64_t link_traversals_ = 0;
+    ANOC_SHARD_LOCAL std::uint64_t vc_stalls_ = 0;
 
-    telemetry::PacketTracer *tracer_ = nullptr;
+    ANOC_REGION_SHARED telemetry::PacketTracer *tracer_ = nullptr;
 };
 
 } // namespace approxnoc

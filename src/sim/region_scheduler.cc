@@ -14,6 +14,7 @@ thread_local int tls_step_region = -1;
 inline std::uint64_t
 now_ns()
 {
+    // anoc-lint: allow(D1) -- region busy/wait self-profiling wall clock; feeds only the profile artifact, outside the byte-identical contract
     using clock = std::chrono::steady_clock;
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

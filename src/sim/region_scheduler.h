@@ -45,6 +45,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/types.h"
 #include "common/worker_pool.h"
 #include "sim/clocked.h"
@@ -95,6 +96,8 @@ struct RegionPlan {
 class RegionScheduler
 {
   public:
+    ANOC_ISOLATION_CONTRACT(region_isolation);
+
     RegionScheduler(RegionPlan plan, unsigned threads);
 
     std::size_t regionCount() const { return plan_.regions.size(); }
@@ -110,22 +113,23 @@ class RegionScheduler
   private:
     void runRegion(std::size_t r);
 
-    RegionPlan plan_;
-    WorkerPool pool_;
-    std::function<void(std::size_t)> task_;
-    /** Batch parameters for task_ (set before each sweep). */
-    Cycle cur_now_ = 0;
-    bool cur_advance_ = false;
+    ANOC_REGION_SHARED RegionPlan plan_;
+    ANOC_REGION_SHARED WorkerPool pool_;
+    ANOC_REGION_SHARED std::function<void(std::size_t)> task_;
+    /** Batch parameters for task_ (set before each sweep, i.e. only in
+     *  serial context between barriers; read-only inside a sweep). */
+    ANOC_REGION_SHARED Cycle cur_now_ = 0;
+    ANOC_REGION_SHARED bool cur_advance_ = false;
 
-    telemetry::PhaseProfiler *profiler_ = nullptr;
-    std::size_t ph_par_eval_ = 0;
-    std::size_t ph_par_adv_ = 0;
-    std::vector<std::size_t> ph_eval_;
-    std::vector<std::size_t> ph_adv_;
-    std::vector<std::size_t> ph_wait_;
+    ANOC_REGION_SHARED telemetry::PhaseProfiler *profiler_ = nullptr;
+    ANOC_REGION_SHARED std::size_t ph_par_eval_ = 0;
+    ANOC_REGION_SHARED std::size_t ph_par_adv_ = 0;
+    ANOC_REGION_SHARED std::vector<std::size_t> ph_eval_;
+    ANOC_REGION_SHARED std::vector<std::size_t> ph_adv_;
+    ANOC_REGION_SHARED std::vector<std::size_t> ph_wait_;
     /** Per-region busy ns of the current sweep; slot r is written only
      *  by region r's task and read after the barrier. */
-    std::vector<std::uint64_t> busy_ns_;
+    ANOC_SHARD_LOCAL std::vector<std::uint64_t> busy_ns_;
 };
 
 } // namespace approxnoc

@@ -194,6 +194,7 @@ Simulator::profiledSweep(bool advance, std::size_t begin, std::size_t end)
     // Time contiguous same-phase runs, not individual components: the
     // network registers its routers and NIs in blocks, so one cycle
     // costs a handful of clock reads instead of one per component.
+    // anoc-lint: allow(D1) -- profiled-sweep wall clock; feeds only the profile artifact, outside the byte-identical contract
     using clock = std::chrono::steady_clock;
     std::size_t i = begin;
     while (i < end) {

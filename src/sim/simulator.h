@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/contract.h"
 #include "common/types.h"
 #include "sim/clocked.h"
 #include "sim/event_queue.h"
@@ -32,6 +33,11 @@ class RegionScheduler;
 class Simulator
 {
   public:
+    /** The loop driver itself runs only in serial context: every
+     * field below is mutated between parallel phases, never inside
+     * one, so region workers observe it read-only. */
+    ANOC_ISOLATION_CONTRACT(region_isolation);
+
     Simulator();
     ~Simulator();
 
@@ -101,22 +107,22 @@ class Simulator
     /** Phase id for component @p i, classified on first use. */
     std::size_t phaseOf(std::size_t i);
 
-    Cycle now_ = 0;
-    std::vector<Clocked *> components_;
-    EventQueue events_;
-    telemetry::PhaseProfiler *profiler_ = nullptr;
-    std::size_t ph_event_queue_ = 0;
-    std::size_t ph_other_ = 0;
-    std::size_t ph_region_apply_ = 0;
+    ANOC_REGION_SHARED Cycle now_ = 0;
+    ANOC_REGION_SHARED std::vector<Clocked *> components_;
+    ANOC_REGION_SHARED EventQueue events_;
+    ANOC_REGION_SHARED telemetry::PhaseProfiler *profiler_ = nullptr;
+    ANOC_REGION_SHARED std::size_t ph_event_queue_ = 0;
+    ANOC_REGION_SHARED std::size_t ph_other_ = 0;
+    ANOC_REGION_SHARED std::size_t ph_region_apply_ = 0;
     /** Cached phase per component index; kNoPhase = not classified.
      *  Invariant: same length as components_ (add() appends a
      *  kNoPhase slot, so registration never reclassifies the rest). */
-    std::vector<std::size_t> phase_of_;
+    ANOC_REGION_SHARED std::vector<std::size_t> phase_of_;
 
-    std::unique_ptr<RegionScheduler> scheduler_;
+    ANOC_REGION_SHARED std::unique_ptr<RegionScheduler> scheduler_;
     /** Components [0, serial_prefix_) are covered by the region plan;
      *  the rest step serially after each parallel phase. */
-    std::size_t serial_prefix_ = 0;
+    ANOC_REGION_SHARED std::size_t serial_prefix_ = 0;
 };
 
 } // namespace approxnoc

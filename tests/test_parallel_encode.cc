@@ -1,6 +1,6 @@
 /**
  * The executable specification of flow-sharded parallel block
- * encoding (harness/flow_sharded_encoder.h), in the same spirit as
+ * encoding (harness/sharded_codec_pipeline.h), in the same spirit as
  * the RefTcam/RefCam differential tests: the serial jobs=1 path *is*
  * the spec, and the concurrent path must match it byte for byte.
  *
@@ -33,7 +33,7 @@
 #include "common/rng.h"
 #include "compression/adaptive.h"
 #include "core/codec_factory.h"
-#include "harness/flow_sharded_encoder.h"
+#include "harness/sharded_codec_pipeline.h"
 
 using namespace approxnoc;
 using harness::EncodeRequest;

@@ -1,0 +1,310 @@
+"""The codified rule set.
+
+Each rule is derived from a documented-but-previously-unchecked
+contract; docs/static-analysis.md carries the catalog with rationale
+and links each rule to its contract section. Rules emit Finding
+objects; the driver applies suppressions and renders reports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field as dc_field
+
+from .model import SourceFile, Tree
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+    fixable: bool = False
+    # (line, col, text) insertion for --fix.
+    fix: tuple[int, int, str] | None = None
+    suppressed: bool = False
+    reason: str = ""
+
+    def to_json(self) -> dict:
+        d = {
+            "rule": self.rule,
+            "file": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fixable": self.fixable,
+            "suppressed": self.suppressed,
+        }
+        if self.suppressed:
+            d["reason"] = self.reason
+        return d
+
+
+RULES = {
+    "D1": "no nondeterminism sources on deterministic paths",
+    "D2": "no unordered-container iteration (order-dependent output)",
+    "C1": "contract classes must annotate every shared-state field",
+    "C2": "API hygiene (deprecated shims, double probes, notify_delay)",
+    "SUP": "suppressions must carry a reason and name real rules",
+}
+
+# ---------------------------------------------------------------- D1 --
+
+# Each entry: (compiled pattern, what to say). Scanned over sanitized
+# text of in-scope files, line by line.
+_D1_PATTERNS = [
+    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("),
+     "C rand()/srand() is nondeterministic across libcs and seeds "
+     "globally; use common/rng.h (explicit seed) instead"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device draws entropy from the host; deterministic "
+     "paths must seed from the experiment spec (common/rng.h)"),
+    (re.compile(r"\b(?:system_clock|high_resolution_clock|steady_clock)\b"),
+     "wall-clock reads are nondeterministic; simulated time comes from "
+     "Cycle parameters, and profiling belongs behind the "
+     "telemetry::PhaseProfiler wall-clock boundary"),
+    (re.compile(r"\b(?:gettimeofday|localtime|strftime|mktime|ctime)\b"),
+     "calendar/wall-clock call on a deterministic path"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time() reads the host clock on a deterministic path"),
+    (re.compile(r"^\s*#\s*include\s*<random>"),
+     "<random> on a deterministic path; engines must be explicitly "
+     "seeded via common/rng.h so draws replay"),
+    (re.compile(r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<[^<>,;]*\*"),
+     "ordered container keyed by pointer: iteration order follows the "
+     "allocator, not the program; key by a stable id instead"),
+]
+
+
+def check_d1(sf: SourceFile) -> list[Finding]:
+    if not sf.in_scope:
+        return []
+    out = []
+    for lineno, line in enumerate(sf.sanitized.splitlines(), start=1):
+        for pat, why in _D1_PATTERNS:
+            if pat.search(line):
+                out.append(Finding("D1", sf.path, lineno, why))
+    return out
+
+
+# ---------------------------------------------------------------- D2 --
+
+_UNORDERED_RE = re.compile(
+    r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+
+_RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(([^;{}]*?):([^;{})]*)\)")
+
+_ITER_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\(")
+
+
+def _unordered_names(sf: SourceFile, tree: Tree) -> set[str]:
+    """Identifiers declared (here or in a directly-included repo
+    header) with an unordered container type."""
+    names = _scan_unordered_decls(sf.sanitized)
+    for inc in sf.includes:
+        dep = tree.resolve_include(inc.target) if not inc.system else None
+        if dep is not None:
+            names |= _scan_unordered_decls(tree.files[dep].sanitized)
+    return names
+
+
+def _scan_unordered_decls(sanitized: str) -> set[str]:
+    names: set[str] = set()
+    for m in _UNORDERED_RE.finditer(sanitized):
+        i = m.end()  # just past '<'
+        depth = 1
+        while i < len(sanitized) and depth:
+            if sanitized[i] == "<":
+                depth += 1
+            elif sanitized[i] == ">":
+                depth -= 1
+            i += 1
+        tail = sanitized[i : i + 120]
+        dm = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)\s*(?:[;,={(\[)]|$)", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def check_d2(sf: SourceFile, tree: Tree) -> list[Finding]:
+    if not sf.in_scope:
+        return []
+    names = _unordered_names(sf, tree)
+    if not names:
+        return []
+    out = []
+    for lineno, line in enumerate(sf.sanitized.splitlines(), start=1):
+        for m in _RANGE_FOR_RE.finditer(line):
+            expr = m.group(2).strip()
+            root = re.match(r"[(*&\s]*([A-Za-z_]\w*)", expr)
+            if root and root.group(1) in names:
+                out.append(Finding(
+                    "D2", sf.path, lineno,
+                    f"iteration over unordered container "
+                    f"'{root.group(1)}': order is hash-seed dependent "
+                    f"and must not reach artifacts, merges or traces; "
+                    f"use an ordered container or sort explicitly"))
+        for m in _ITER_CALL_RE.finditer(line):
+            if m.group(1) in names:
+                out.append(Finding(
+                    "D2", sf.path, lineno,
+                    f"iterator walk over unordered container "
+                    f"'{m.group(1)}': order is hash-seed dependent; "
+                    f"use an ordered container or sort explicitly"))
+    return out
+
+
+# ---------------------------------------------------------------- C1 --
+
+def check_c1(sf: SourceFile) -> list[Finding]:
+    out = []
+    for cls in sf.classes:
+        for f in cls.fields:
+            if f.annotation is None:
+                ann = ("ANOC_CROSS_SHARD(RelaxedCounter) "
+                       if f.is_relaxed_counter else "ANOC_SHARD_LOCAL ")
+                out.append(Finding(
+                    "C1", sf.path, f.line,
+                    f"field '{f.name}' of contract class '{cls.name}' "
+                    f"({', '.join(cls.contracts)}) has no isolation "
+                    f"annotation; declare ANOC_SHARD_LOCAL, "
+                    f"ANOC_CROSS_SHARD(RelaxedCounter) or "
+                    f"ANOC_REGION_SHARED",
+                    fixable=True, fix=(f.line, f.col, ann)))
+            elif f.annotation == "ANOC_CROSS_SHARD":
+                if f.annotation_arg != "RelaxedCounter":
+                    out.append(Finding(
+                        "C1", sf.path, f.line,
+                        f"field '{f.name}': ANOC_CROSS_SHARD admits "
+                        f"only RelaxedCounter (commutative relaxed-"
+                        f"atomic) state, got "
+                        f"'{f.annotation_arg or '<empty>'}'"))
+                elif not f.is_relaxed_counter:
+                    out.append(Finding(
+                        "C1", sf.path, f.line,
+                        f"field '{f.name}' is declared "
+                        f"ANOC_CROSS_SHARD(RelaxedCounter) but its type "
+                        f"is not a RelaxedCounter; non-commutative "
+                        f"cross-shard state breaks the determinism "
+                        f"contract"))
+    return out
+
+
+# ---------------------------------------------------------------- C2 --
+
+_DEPRECATED_INCLUDES = {
+    "harness/flow_sharded_encoder.h":
+        "removed compat shim; include harness/sharded_codec_pipeline.h",
+}
+
+_SEARCH_RE = re.compile(
+    r"([A-Za-z_][\w.\->]*?)\s*(?:\.|->)\s*search(?:Visit)?\s*\(")
+_REPROBE_RE_TMPL = r"{recv}\s*(?:\.|->)\s*(?:peek|searchAll|findPattern)\s*\("
+
+_HOT_PATH_DIRS = ("src/compression/", "src/approx/", "src/tcam/")
+_DOUBLE_PROBE_WINDOW = 12  # lines
+
+_NOTIFY_DELAY_RE = re.compile(r"\bnotify_delay\s*(?:=|\{)\s*0\b")
+
+
+def check_c2(sf: SourceFile, tree: Tree) -> list[Finding]:
+    out = []
+    if sf.path.endswith("flow_sharded_encoder.h"):
+        out.append(Finding(
+            "C2", sf.path, 1,
+            "harness/flow_sharded_encoder.h was removed (PR 6 compat "
+            "shim); FlowShardedEncoder lives in "
+            "harness/sharded_codec_pipeline.h"))
+    for inc in sf.includes:
+        hint = _DEPRECATED_INCLUDES.get(inc.target)
+        if hint:
+            out.append(Finding(
+                "C2", sf.path, inc.line,
+                f"include of deprecated shim '{inc.target}': {hint}"))
+
+    lines = sf.sanitized.splitlines()
+    if sf.path.startswith(_HOT_PATH_DIRS):
+        out.extend(_check_double_probe(sf, lines))
+
+    for lineno, line in enumerate(lines, start=1):
+        if _NOTIFY_DELAY_RE.search(line):
+            out.append(Finding(
+                "C2", sf.path, lineno,
+                "notify_delay = 0 constructs a dictionary whose "
+                "update notifications apply within the issuing cycle, "
+                "which the NoC consistency protocol forbids "
+                "(noc/network.h requires notify_delay >= 1)"))
+    return out
+
+
+def _check_double_probe(sf: SourceFile, lines: list[str]) -> list[Finding]:
+    """A counted search() immediately re-probed with peek()/searchAll()
+    on the same receiver pays two match-engine probes for one lookup;
+    Tcam::searchVisit visits the full match set in one probe."""
+    out = []
+    for lineno, line in enumerate(lines, start=1):
+        for m in _SEARCH_RE.finditer(line):
+            recv = m.group(1)
+            reprobe = re.compile(
+                _REPROBE_RE_TMPL.format(recv=re.escape(recv)))
+            upper = min(len(lines), lineno + _DOUBLE_PROBE_WINDOW)
+            for nxt in range(lineno, upper):
+                if reprobe.search(lines[nxt]):
+                    out.append(Finding(
+                        "C2", sf.path, nxt + 1,
+                        f"double probe: '{recv}' is re-probed after a "
+                        f"counted search() at line {lineno}; use "
+                        f"searchVisit() to walk the match set in one "
+                        f"probe (see docs/perf.md, bit-sliced TCAM)"))
+                    break
+    return out
+
+
+# --------------------------------------------------------------- SUP --
+
+def check_sup(sf: SourceFile) -> list[Finding]:
+    out = []
+    for sup in sf.suppressions:
+        if not sup.reason:
+            out.append(Finding(
+                "SUP", sf.path, sup.line,
+                "suppression without a reason: write "
+                "'// anoc-lint: allow(<rule>) -- <why this is safe>'"))
+        for r in sup.rules:
+            if r not in RULES or r == "SUP":
+                out.append(Finding(
+                    "SUP", sf.path, sup.line,
+                    f"suppression names unknown rule '{r}' "
+                    f"(known: {', '.join(k for k in RULES if k != 'SUP')})"))
+    return out
+
+
+# ------------------------------------------------------------ driver --
+
+def run_all(tree: Tree, paths: list[str] | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(tree.files):
+        if paths and not any(path == p or path.startswith(p.rstrip("/") + "/")
+                             for p in paths):
+            continue
+        sf = tree.files[path]
+        file_findings = (check_d1(sf) + check_d2(sf, tree) + check_c1(sf)
+                         + check_c2(sf, tree) + check_sup(sf))
+        _apply_suppressions(sf, file_findings)
+        findings.extend(file_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _apply_suppressions(sf: SourceFile, findings: list[Finding]) -> None:
+    for f in findings:
+        if f.rule == "SUP":
+            continue  # suppression hygiene itself cannot be waived
+        for sup in sf.suppressions:
+            if sup.applies_to(f.rule, f.line):
+                sup.used = True
+                if sup.reason:
+                    f.suppressed = True
+                    f.reason = sup.reason
+                break
