@@ -41,7 +41,9 @@
 #include "approx/window_vaxx.h"
 #include "compression/wire.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "compression/dictionary.h"
+#include "tcam/match_kernel.h"
 #include "compression/fpc.h"
 #include "core/codec_factory.h"
 #include "harness/sharded_codec_pipeline.h"
@@ -610,6 +612,11 @@ run(const std::string &path, int reps, unsigned encode_jobs,
     unsigned decode_jobs, const std::string &profile_path)
 {
     const bool profile = !profile_path.empty();
+    // Provenance: which match kernel produced these numbers. Scalar and
+    // SIMD runs are bit-identical in output but not in words/sec, so
+    // baselines record the dispatch they were captured under.
+    const char *simd = simd::to_string(simd::active_simd_level());
+    std::fprintf(stderr, "micro_codec: simd dispatch: %s\n", simd);
     const auto blocks = make_workload();
     const std::pair<Scheme, const char *> schemes[] = {
         {Scheme::Baseline, "baseline"}, {Scheme::DiComp, "di_comp"},
@@ -674,6 +681,7 @@ run(const std::string &path, int reps, unsigned encode_jobs,
                  "    \"warmup_passes\": %d,\n"
                  "    \"pmt_entries\": %zu,\n"
                  "    \"error_threshold_pct\": %.1f,\n"
+                 "    \"simd\": \"%s\",\n"
 #if defined(ANOC_BENCH_WORD_AT_A_TIME)
                  "    \"word_at_a_time\": true\n"
 #else
@@ -681,7 +689,7 @@ run(const std::string &path, int reps, unsigned encode_jobs,
 #endif
                  "  },\n",
                  kBlocks, kWordsPerBlock, kInnerIters, reps, kWarmupPasses,
-                 kPmtEntries, kErrorThresholdPct);
+                 kPmtEntries, kErrorThresholdPct, simd);
     std::fprintf(f, "  \"results\": {\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SchemeResult &r = results[i];

@@ -2,7 +2,7 @@
 """Self-test for anoc-lint (tools/anoc_lint) using fixture trees.
 
 Exercises the contract the lint CI job relies on, one fixture per rule:
-a positive match for D1/D2/C1/C2, suppression honored (exit 0),
+a positive match for D1/D2/C1/C2/S1, suppression honored (exit 0),
 suppression-without-reason rejected (SUP + the finding stays active),
 scope propagation through the include graph, --fix convergence and
 idempotence, the JSON report shape, and the exit-code contract
@@ -187,6 +187,79 @@ def main():
               "flow_sharded_encoder" in out, out)
         check("c2-double-probe", "double probe" in out, out)
         check("c2-notify-delay", "notify_delay" in out, out)
+
+    # --- S1: AVX2 guards need a scalar twin and a named test ---------
+    s1_test_cc = ("void TEST_HELPER();\n"
+                  "TEST(SimdDiff, KernelMatches) {}\n")
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            # No #else: the SIMD path has no portable fallback.
+            "src/tcam/noelse.cc":
+                "// anoc-simd-test: SimdDiff.KernelMatches\n"
+                "#if defined(__AVX2__)\n"
+                "int simd_path();\n"
+                "#endif\n",
+            "tests/test_simd_fixture.cc": s1_test_cc,
+        })
+        rc, out = run(d)
+        check_exit("s1-missing-else", rc, 1, out)
+        check("s1-missing-else-msg",
+              "[S1]" in out and "scalar #else" in out, out)
+
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            # #else twin present, but nothing names the test that
+            # exercises the pair.
+            "src/tcam/nomarker.cc":
+                "#if defined(__AVX2__)\n"
+                "int simd_path();\n"
+                "#else\n"
+                "int scalar_path();\n"
+                "#endif\n",
+            "tests/test_simd_fixture.cc": s1_test_cc,
+        })
+        rc, out = run(d)
+        check_exit("s1-missing-marker", rc, 1, out)
+        check("s1-missing-marker-msg", "anoc-simd-test" in out, out)
+
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            # Marker names a test nobody wrote.
+            "src/tcam/ghost.cc":
+                "#if defined(__AVX2__)\n"
+                "// anoc-simd-test: SimdDiff.DoesNotExist\n"
+                "int simd_path();\n"
+                "#else\n"
+                "int scalar_path();\n"
+                "#endif\n",
+            "tests/test_simd_fixture.cc": s1_test_cc,
+        })
+        rc, out = run(d)
+        check_exit("s1-ghost-test", rc, 1, out)
+        check("s1-ghost-test-named", "SimdDiff.DoesNotExist" in out, out)
+
+    with tempfile.TemporaryDirectory() as d:
+        make_tree(d, {
+            "src/common/contract.h": CONTRACT_H,
+            # Twin + marker + real test, with a wrapped condition and a
+            # nested #if inside the guarded block: clean.
+            "src/tcam/kern.cc":
+                "#if defined(__AVX2__) || \\\n"
+                "    defined(SIMULATE_AVX2)\n"
+                "// anoc-simd-test: SimdDiff.KernelMatches\n"
+                "#if defined(__GNUC__)\n"
+                "int simd_path();\n"
+                "#endif\n"
+                "#else\n"
+                "int scalar_path();\n"
+                "#endif\n",
+            "tests/test_simd_fixture.cc": s1_test_cc,
+        })
+        rc, out = run(d)
+        check_exit("s1-clean", rc, 0, out)
 
     # --- suppressions: honored with a reason, rejected without -------
     with tempfile.TemporaryDirectory() as d:

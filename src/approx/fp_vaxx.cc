@@ -1,5 +1,7 @@
 #include "approx/fp_vaxx.h"
 
+#include "common/arena.h"
+
 namespace approxnoc {
 
 namespace {
@@ -38,31 +40,60 @@ FpVaxxCodec::encode(const DataBlock &block, NodeId src, NodeId dst, Cycle)
 }
 
 EncodedBlock
-FpVaxxCodec::encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
-                         Cycle now)
+FpVaxxCodec::encodeImpl(const DataBlock &block, NodeId src, NodeId dst,
+                        std::pmr::memory_resource *mr)
 {
+    noteEncoded(block.size());
     const bool approximable = block.approximable() &&
                               block.type() != DataType::Raw &&
                               avcl_.errorModel().enabled();
-    if (!approximable || block.size() > kMaxHoistedWords)
-        return encode(block, src, dst, now);
-
-    noteEncoded(block.size());
-    unsigned k[kMaxHoistedWords];
-    for (std::size_t i = 0; i < block.size(); ++i) {
-        Word w = block.word(i);
-        ApproxDecision d = avcl_.analyze(w, block.type());
-        if (d.bypass)
-            k[i] = 0;
-        else if (mode_ == FpcPriorityMode::PreferExact && fpc_match(w, 0))
-            k[i] = 0;
-        else
-            k[i] = d.dont_care_bits;
+    EncodedBlock enc;
+    if (!approximable) {
+        enc = fpc_encode_block(block, [](std::size_t) { return 0u; }, mr);
+    } else if (block.size() > kMaxHoistedWords) {
+        enc = fpc_encode_block(block,
+                               [&](std::size_t i) -> unsigned {
+                                   Word w = block.word(i);
+                                   ApproxDecision d =
+                                       avcl_.analyze(w, block.type());
+                                   if (d.bypass)
+                                       return 0u;
+                                   if (mode_ == FpcPriorityMode::PreferExact &&
+                                       fpc_match(w, 0))
+                                       return 0u;
+                                   return d.dont_care_bits;
+                               },
+                               mr);
+    } else {
+        unsigned k[kMaxHoistedWords];
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            Word w = block.word(i);
+            ApproxDecision d = avcl_.analyze(w, block.type());
+            if (d.bypass)
+                k[i] = 0;
+            else if (mode_ == FpcPriorityMode::PreferExact && fpc_match(w, 0))
+                k[i] = 0;
+            else
+                k[i] = d.dont_care_bits;
+        }
+        enc = fpc_encode_block(block, [&](std::size_t i) { return k[i]; }, mr);
     }
-    EncodedBlock enc =
-        fpc_encode_block(block, [&](std::size_t i) { return k[i]; });
     noteBlockEncoded(enc, block, src, dst);
     return enc;
+}
+
+EncodedBlock
+FpVaxxCodec::encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
+                         Cycle)
+{
+    return encodeImpl(block, src, dst, nullptr);
+}
+
+EncodedBlock
+FpVaxxCodec::encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                        Cycle, Arena &arena)
+{
+    return encodeImpl(block, src, dst, &arena);
 }
 
 DataBlock
@@ -72,9 +103,21 @@ FpVaxxCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
     // never knows approximation happened).
     noteDecoded(enc.wordCount());
     noteBlockDecoded();
-    std::vector<Word> ws;
-    noteMismatches(fpc_decode_block(enc, ws));
+    std::vector<Word> ws(enc.wordCount());
+    noteMismatches(fpc_decode_block(enc, ws.data()));
     return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
+
+DecodedSpan
+FpVaxxCodec::decodeSpan(const EncodedBlock &enc, NodeId, NodeId, Cycle,
+                        Arena &arena)
+{
+    noteDecoded(enc.wordCount());
+    noteBlockDecoded();
+    Word *buf = arena.alloc<Word>(enc.wordCount());
+    noteMismatches(fpc_decode_block(enc, buf));
+    return DecodedSpan{buf, enc.wordCount(), enc.type(),
+                       enc.approximable()};
 }
 
 } // namespace approxnoc

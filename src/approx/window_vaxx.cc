@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bits.h"
 
 namespace approxnoc {
 
 EncodedBlock
 WindowVaxxCodec::encode(const DataBlock &block, NodeId src, NodeId dst, Cycle)
+{
+    return encodeImpl(block, src, dst, nullptr);
+}
+
+EncodedBlock
+WindowVaxxCodec::encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                            Cycle, Arena &arena)
+{
+    return encodeImpl(block, src, dst, &arena);
+}
+
+EncodedBlock
+WindowVaxxCodec::encodeImpl(const DataBlock &block, NodeId src, NodeId dst,
+                            std::pmr::memory_resource *mr)
 {
     noteEncoded(block.size());
     const bool approx_ok = block.approximable() &&
@@ -17,7 +32,7 @@ WindowVaxxCodec::encode(const DataBlock &block, NodeId src, NodeId dst, Cycle)
     last_spent_ = 0.0;
     if (!approx_ok) {
         EncodedBlock enc =
-            fpc_encode_block(block, [](std::size_t) { return 0u; });
+            fpc_encode_block(block, [](std::size_t) { return 0u; }, mr);
         noteBlockEncoded(enc);
         return enc;
     }
@@ -64,7 +79,7 @@ WindowVaxxCodec::encode(const DataBlock &block, NodeId src, NodeId dst, Cycle)
     }
 
     EncodedBlock enc = fpc_encode_block(
-        block, [&](std::size_t i) { return ks[i]; });
+        block, [&](std::size_t i) { return ks[i]; }, mr);
     last_spent_ = spent;
     noteBlockEncoded(enc, block, src, dst);
     return enc;
@@ -75,9 +90,21 @@ WindowVaxxCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
 {
     noteDecoded(enc.wordCount());
     noteBlockDecoded();
-    std::vector<Word> ws;
-    noteMismatches(fpc_decode_block(enc, ws));
+    std::vector<Word> ws(enc.wordCount());
+    noteMismatches(fpc_decode_block(enc, ws.data()));
     return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
+
+DecodedSpan
+WindowVaxxCodec::decodeSpan(const EncodedBlock &enc, NodeId, NodeId, Cycle,
+                            Arena &arena)
+{
+    noteDecoded(enc.wordCount());
+    noteBlockDecoded();
+    Word *buf = arena.alloc<Word>(enc.wordCount());
+    noteMismatches(fpc_decode_block(enc, buf));
+    return DecodedSpan{buf, enc.wordCount(), enc.type(),
+                       enc.approximable()};
 }
 
 } // namespace approxnoc

@@ -41,8 +41,12 @@ class WindowVaxxCodec : public CodecSystem
 
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
                         Cycle now) override;
+    EncodedBlock encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                            Cycle now, Arena &arena) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
+    DecodedSpan decodeSpan(const EncodedBlock &enc, NodeId src, NodeId dst,
+                           Cycle now, Arena &arena) override;
 
     const ErrorModel &errorModel() const { return model_; }
     double perWordCap() const { return per_word_cap_; }
@@ -58,6 +62,11 @@ class WindowVaxxCodec : public CodecSystem
     }
 
   private:
+    /** The one encode body behind encode()/encodeSpan(): budget walk
+     * then fpc_encode_block with NR storage on @p mr (null = heap). */
+    EncodedBlock encodeImpl(const DataBlock &block, NodeId src, NodeId dst,
+                            std::pmr::memory_resource *mr);
+
     ANOC_REGION_SHARED ErrorModel model_;
     ANOC_REGION_SHARED double per_word_cap_;
     /** Serial-only diagnostic: a plain double overwritten by every

@@ -1,0 +1,76 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace approxnoc::simd {
+
+SimdRequest
+parse_simd_request(const char *value, SimdRequest fallback)
+{
+    if (!value)
+        return fallback;
+    if (std::strcmp(value, "scalar") == 0)
+        return SimdRequest::Scalar;
+    if (std::strcmp(value, "avx2") == 0)
+        return SimdRequest::Avx2;
+    if (std::strcmp(value, "auto") == 0)
+        return SimdRequest::Auto;
+    return fallback;
+}
+
+SimdRequest
+requested_simd_level()
+{
+    // The env var is read exactly once: dispatch is decided at process
+    // start and never changes, so two searches in one run can never see
+    // different kernels (part of the determinism argument in
+    // docs/perf.md). The build-time default comes from -DANOC_SIMD=.
+#ifndef ANOC_SIMD_DEFAULT
+#define ANOC_SIMD_DEFAULT "auto"
+#endif
+    static const SimdRequest cached = [] {
+        const SimdRequest build_default =
+            parse_simd_request(ANOC_SIMD_DEFAULT, SimdRequest::Auto);
+        return parse_simd_request(std::getenv("ANOC_SIMD"), build_default);
+    }();
+    return cached;
+}
+
+bool
+cpu_has_avx2()
+{
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+const char *
+to_string(SimdRequest r)
+{
+    switch (r) {
+    case SimdRequest::Auto:
+        return "auto";
+    case SimdRequest::Scalar:
+        return "scalar";
+    case SimdRequest::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+const char *
+to_string(SimdLevel l)
+{
+    switch (l) {
+    case SimdLevel::Scalar:
+        return "scalar";
+    case SimdLevel::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+} // namespace approxnoc::simd

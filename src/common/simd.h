@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SIMD dispatch policy for the match-engine hot path (docs/perf.md,
+ * "SIMD match kernels"). This header owns only the *request* side of
+ * the dispatch matrix: what the user asked for, via the `ANOC_SIMD`
+ * environment variable at process start or the `-DANOC_SIMD=` CMake
+ * cache default baked in at build time. The *capability* side (was the
+ * AVX2 kernel compiled, does the CPU report AVX2) and the final
+ * kernel selection live next to the kernels in tcam/match_kernel.h,
+ * so common/ stays free of ISA-specific code.
+ *
+ * Determinism contract: the selection only ever changes *which*
+ * machine code computes the match bitmap, never the bitmap itself —
+ * every kernel is bit-identical by construction and the differential
+ * fuzzer (tests/test_simd_diff.cc) enforces that under both settings.
+ * The environment is read once and cached, so a process cannot change
+ * kernels mid-run.
+ */
+#ifndef APPROXNOC_COMMON_SIMD_H
+#define APPROXNOC_COMMON_SIMD_H
+
+namespace approxnoc::simd {
+
+/** What the user asked for (env/CMake), before capability clamping. */
+enum class SimdRequest {
+    Auto,   ///< pick the fastest kernel the host supports (default)
+    Scalar, ///< force the portable std::uint64_t x4 kernel
+    Avx2,   ///< request AVX2; clamped to scalar (with a note) if absent
+};
+
+/** Resolved kernel level actually driving the match engines. */
+enum class SimdLevel {
+    Scalar,
+    Avx2,
+};
+
+/**
+ * Pure parsing step of the dispatch matrix, separated from the cached
+ * process-wide lookup so the unit tests can drive every row without
+ * mutating the environment: "scalar"/"avx2"/"auto" map to the enum,
+ * anything else (including null/empty) falls back to @p fallback.
+ */
+SimdRequest parse_simd_request(const char *value, SimdRequest fallback);
+
+/**
+ * The process-wide request: `ANOC_SIMD` env var if set, else the CMake
+ * default (`ANOC_SIMD_DEFAULT`, normally "auto"). Read once on first
+ * use and cached — the kernel choice is fixed for the process lifetime.
+ */
+SimdRequest requested_simd_level();
+
+/** True when the CPU reports AVX2 support at runtime. */
+bool cpu_has_avx2();
+
+const char *to_string(SimdRequest r);
+const char *to_string(SimdLevel l);
+
+} // namespace approxnoc::simd
+
+#endif // APPROXNOC_COMMON_SIMD_H

@@ -1,5 +1,6 @@
 #include "compression/adaptive.h"
 
+#include "common/arena.h"
 #include "common/log.h"
 
 namespace approxnoc {
@@ -48,8 +49,15 @@ AdaptiveCodec::encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
 }
 
 EncodedBlock
+AdaptiveCodec::encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                          Cycle now, Arena &arena)
+{
+    return encodeImpl(block, src, dst, now, true, &arena);
+}
+
+EncodedBlock
 AdaptiveCodec::encodeImpl(const DataBlock &block, NodeId src, NodeId dst,
-                          Cycle now, bool batched)
+                          Cycle now, bool batched, Arena *arena)
 {
     ANOC_ASSERT(src < senders_.size(), "sender out of range");
     SenderState &s = senders_[src];
@@ -63,13 +71,15 @@ AdaptiveCodec::encodeImpl(const DataBlock &block, NodeId src, NodeId dst,
         } else {
             ++bypassed_;
             // Raw-block flag rides in the head flit, hence 32 bits/word.
-            EncodedBlock raw = raw_encoded_block(block, inner_->rawKind());
+            EncodedBlock raw =
+                raw_encoded_block(block, inner_->rawKind(), 32, arena);
             noteBlockEncoded(raw);
             return raw;
         }
     }
 
-    EncodedBlock enc = batched ? inner_->encodeBlock(block, src, dst, now)
+    EncodedBlock enc = arena ? inner_->encodeSpan(block, src, dst, now, *arena)
+                     : batched ? inner_->encodeBlock(block, src, dst, now)
                                : inner_->encode(block, src, dst, now);
     s.window_raw_bits += block.sizeBits();
     s.window_enc_bits += enc.bits();

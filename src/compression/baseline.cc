@@ -1,3 +1,4 @@
+#include "common/arena.h"
 #include "compression/codec.h"
 
 namespace approxnoc {
@@ -14,18 +15,18 @@ CodecSystem::activity() const
 EncodedBlock
 BaselineCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
 {
-    EncodedBlock enc;
     noteEncoded(block.size());
-    for (std::size_t i = 0; i < block.size(); ++i) {
-        EncodedWord ew;
-        ew.kind = 0;
-        ew.bits = 32;
-        ew.payload = block.word(i);
-        ew.decoded = block.word(i);
-        ew.uncompressed = true;
-        enc.append(ew);
-    }
-    enc.setMeta(block.type(), block.approximable());
+    EncodedBlock enc = raw_encoded_block(block, 0);
+    noteBlockEncoded(enc);
+    return enc;
+}
+
+EncodedBlock
+BaselineCodec::encodeSpan(const DataBlock &block, NodeId, NodeId, Cycle,
+                          Arena &arena)
+{
+    noteEncoded(block.size());
+    EncodedBlock enc = raw_encoded_block(block, 0, 32, &arena);
     noteBlockEncoded(enc);
     return enc;
 }
@@ -40,6 +41,21 @@ BaselineCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
     for (const auto &w : enc.words())
         ws.push_back(w.payload);
     return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
+
+DecodedSpan
+BaselineCodec::decodeSpan(const EncodedBlock &enc, NodeId, NodeId, Cycle,
+                          Arena &arena)
+{
+    noteDecoded(enc.wordCount());
+    noteBlockDecoded();
+    Word *buf = arena.alloc<Word>(enc.wordCount());
+    Word *out = buf;
+    for (const auto &w : enc.words())
+        for (unsigned r = 0; r < w.run; ++r)
+            *out++ = w.payload;
+    return DecodedSpan{buf, enc.wordCount(), enc.type(),
+                       enc.approximable()};
 }
 
 } // namespace approxnoc

@@ -26,7 +26,27 @@ class ErrorProfile;
 class PhaseProfiler;
 } // namespace telemetry
 
+class Arena;
 class EncodedBlock;
+
+/**
+ * Zero-copy view of a decoded block: the words live in the Arena the
+ * caller passed to decodeSpan() and stay valid until that arena is
+ * reset. Carries the same metadata as DataBlock without owning
+ * storage; callers needing ownership copy into a DataBlock.
+ */
+struct DecodedSpan {
+    const Word *data = nullptr;
+    std::size_t size = 0;
+    DataType type = DataType::Raw;
+    bool approximable = false;
+
+    Word
+    word(std::size_t i) const
+    {
+        return data[i];
+    }
+};
 
 /** Default codec pipeline latencies (paper Sec. 4.3, after [12]). */
 inline constexpr Cycle kCompressionLatency = 3;   ///< 2 match + 1 encode
@@ -156,6 +176,24 @@ class CodecSystem
     }
 
     /**
+     * Zero-copy batched encode: identical NR bits and side effects to
+     * encodeBlock(), but the returned block's word storage lives in
+     * @p arena — no heap allocation on the hot path once the arena is
+     * warm. The block is valid until the arena is reset; moving it
+     * keeps the arena backing, copying it detaches onto the heap.
+     * The default forwards to encodeBlock() (heap-backed, always
+     * correct); schemes override it to actually place storage in the
+     * arena. Same serialization obligations as encodeBlock().
+     */
+    virtual EncodedBlock
+    encodeSpan(const DataBlock &block, NodeId src, NodeId dst, Cycle now,
+               Arena &arena)
+    {
+        (void)arena;
+        return encodeBlock(block, src, dst, now);
+    }
+
+    /**
      * Decode @p enc at node @p dst, received from @p src. Kept as the
      * executable specification of the decoder: the batched
      * decodeBlock() must reconstruct a bit-identical DataBlock.
@@ -177,6 +215,18 @@ class CodecSystem
     {
         return decode(enc, src, dst, now);
     }
+
+    /**
+     * Zero-copy batched decode: identical words and side effects to
+     * decodeBlock(), but the reconstructed words are written into
+     * exactly enc.wordCount() arena-resident Words and returned as a
+     * view — valid until @p arena is reset. The default routes
+     * through decodeBlock() and copies once; schemes override it to
+     * decode straight into the arena. Same serialization obligations
+     * as decodeBlock().
+     */
+    virtual DecodedSpan decodeSpan(const EncodedBlock &enc, NodeId src,
+                                   NodeId dst, Cycle now, Arena &arena);
 
     /** Cycles the encoder adds before the first body flit is ready. */
     virtual Cycle compressionLatency() const { return kCompressionLatency; }
@@ -359,8 +409,12 @@ class BaselineCodec : public CodecSystem
     Scheme scheme() const override { return Scheme::Baseline; }
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
                         Cycle now) override;
+    EncodedBlock encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                            Cycle now, Arena &arena) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
+    DecodedSpan decodeSpan(const EncodedBlock &enc, NodeId src, NodeId dst,
+                           Cycle now, Arena &arena) override;
     Cycle compressionLatency() const override { return 0; }
     Cycle decompressionLatency() const override { return 0; }
 };

@@ -1,5 +1,6 @@
 #include "compression/dictionary.h"
 
+#include "common/arena.h"
 #include "common/bits.h"
 #include "common/log.h"
 #include "telemetry/phase_profiler.h"
@@ -54,7 +55,8 @@ DictionaryCodecBase::preloadEncoders()
 
 EncodedBlock
 DictionaryCodecBase::finishEncoded(EncodedBlock enc, const DataBlock &block,
-                                   NodeId src, NodeId dst)
+                                   NodeId src, NodeId dst,
+                                   std::pmr::memory_resource *mr)
 {
     enc.setMeta(block.type(), block.approximable());
 
@@ -62,8 +64,8 @@ DictionaryCodecBase::finishEncoded(EncodedBlock enc, const DataBlock &block,
     // per-word encoding would expand the block, send it raw; the
     // compressed/raw flag rides in the (uncompressed) head flit.
     if (enc.bits() > block.sizeBits() && block.size() > 0)
-        enc = raw_encoded_block(block,
-                                static_cast<std::uint8_t>(DiWordKind::Raw));
+        enc = raw_encoded_block(
+            block, static_cast<std::uint8_t>(DiWordKind::Raw), 32, mr);
     noteBlockEncoded(enc, block, src, dst);
     return enc;
 }
@@ -95,6 +97,22 @@ DictionaryCodecBase::encodeBlock(const DataBlock &block, NodeId src,
     return finishEncoded(std::move(enc), block, src, dst);
 }
 
+EncodedBlock
+DictionaryCodecBase::encodeSpan(const DataBlock &block, NodeId src,
+                                NodeId dst, Cycle now, Arena &arena)
+{
+    // Identical side effects and NR bits to encodeBlock(); only the
+    // word vector's storage differs (arena vs heap).
+    ANOC_ASSERT(src < cfg_.n_nodes && dst < cfg_.n_nodes,
+                "node id out of range in dictionary encode");
+    applyPending(src, now);
+    noteEncoded(block.size());
+    EncodedBlock enc(&arena);
+    enc.reserve(block.size());
+    encodeSpan(block, src, dst, enc);
+    return finishEncoded(std::move(enc), block, src, dst, &arena);
+}
+
 void
 DictionaryCodecBase::encodeSpan(const DataBlock &block, NodeId src,
                                 NodeId dst, EncodedBlock &out)
@@ -111,9 +129,8 @@ DictionaryCodecBase::decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                 "node id out of range in dictionary decode");
     noteDecoded(enc.wordCount());
     noteBlockDecoded();
-    std::vector<Word> ws;
-    ws.reserve(enc.wordCount());
-    decodeSpan(enc, src, dst, now, ws);
+    std::vector<Word> ws(enc.wordCount());
+    decodeSpan(enc, src, dst, now, ws.data());
     return DataBlock(std::move(ws), enc.type(), enc.approximable());
 }
 
@@ -127,9 +144,25 @@ DictionaryCodecBase::decodeBlock(const EncodedBlock &enc, NodeId src,
     return decode(enc, src, dst, now);
 }
 
+DecodedSpan
+DictionaryCodecBase::decodeSpan(const EncodedBlock &enc, NodeId src,
+                                NodeId dst, Cycle now, Arena &arena)
+{
+    // Identical words and learning side effects to decode(); the
+    // reconstruction lands in arena storage and is returned by view.
+    ANOC_ASSERT(src < cfg_.n_nodes && dst < cfg_.n_nodes,
+                "node id out of range in dictionary decode");
+    noteDecoded(enc.wordCount());
+    noteBlockDecoded();
+    Word *buf = arena.alloc<Word>(enc.wordCount());
+    decodeSpan(enc, src, dst, now, buf);
+    return DecodedSpan{buf, enc.wordCount(), enc.type(),
+                       enc.approximable()};
+}
+
 void
 DictionaryCodecBase::decodeSpan(const EncodedBlock &enc, NodeId src,
-                                NodeId dst, Cycle now, std::vector<Word> &out)
+                                NodeId dst, Cycle now, Word *out)
 {
     DecoderState &d = decoders_[dst];
     for (const auto &w : enc.words()) {
@@ -169,7 +202,7 @@ DictionaryCodecBase::decodeSpan(const EncodedBlock &enc, NodeId src,
                 noteMismatch();
         }
         for (unsigned r = 0; r < w.run; ++r)
-            out.push_back(v);
+            *out++ = v;
     }
 }
 

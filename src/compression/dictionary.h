@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory_resource>
 #include <optional>
 #include <vector>
 
@@ -94,10 +95,14 @@ class DictionaryCodecBase : public CodecSystem
                         Cycle now) override;
     EncodedBlock encodeBlock(const DataBlock &block, NodeId src, NodeId dst,
                              Cycle now) override;
+    EncodedBlock encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                            Cycle now, Arena &arena) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
     DataBlock decodeBlock(const EncodedBlock &enc, NodeId src, NodeId dst,
                           Cycle now) override;
+    DecodedSpan decodeSpan(const EncodedBlock &enc, NodeId src, NodeId dst,
+                           Cycle now, Arena &arena) override;
 
     std::vector<Notification> drainNotifications(NodeId dst) override;
 
@@ -156,14 +161,17 @@ class DictionaryCodecBase : public CodecSystem
                             EncodedBlock &out);
 
     /**
-     * Batched inner loop behind decodeBlock(): append the decoded
-     * words of @p enc to @p out, with the destination's DecoderState
-     * and per-block predicates hoisted. decode() routes through the
-     * same code, so the spec and batched paths are trivially
-     * bit-identical (the encodeOne pattern, decoder side).
+     * Batched inner loop behind decodeBlock(): write the decoded
+     * words of @p enc — exactly enc.wordCount() of them — to @p out,
+     * with the destination's DecoderState and per-block predicates
+     * hoisted. Takes a raw output pointer (the count is known upfront)
+     * so decode() fills a heap vector and the zero-copy decodeSpan
+     * overload fills arena storage through the very same code — the
+     * spec and batched paths are trivially bit-identical (the
+     * encodeOne pattern, decoder side).
      */
     virtual void decodeSpan(const EncodedBlock &enc, NodeId src, NodeId dst,
-                            Cycle now, std::vector<Word> &out);
+                            Cycle now, Word *out);
 
     /** Apply one due notification to encoder @p enc's tables. */
     virtual void applyUpdateAtEncoder(NodeId enc, const Update &u) = 0;
@@ -197,9 +205,12 @@ class DictionaryCodecBase : public CodecSystem
 
   private:
     /** Shared encode tail: meta, incompressible-block fallback (after
-     * Das et al. [12]), per-block telemetry + QoR error recording. */
+     * Das et al. [12]), per-block telemetry + QoR error recording.
+     * @p mr backs the raw fallback block (null = heap), so the arena
+     * path stays arena-backed even when the fallback fires. */
     EncodedBlock finishEncoded(EncodedBlock enc, const DataBlock &block,
-                               NodeId src, NodeId dst);
+                               NodeId src, NodeId dst,
+                               std::pmr::memory_resource *mr = nullptr);
 
     /** Decoder-side learning on an uncompressed word from @p src. */
     void learn(Word w, DataType type, NodeId src, NodeId dst, Cycle now);

@@ -44,9 +44,10 @@ EncodedBlock::expectedBlock() const
 
 EncodedBlock
 raw_encoded_block(const DataBlock &block, std::uint8_t kind,
-                  std::uint16_t bits_per_word)
+                  std::uint16_t bits_per_word, std::pmr::memory_resource *mr)
 {
-    EncodedBlock raw;
+    EncodedBlock raw(mr);
+    raw.reserve(block.size());
     for (std::size_t i = 0; i < block.size(); ++i) {
         EncodedWord ew;
         ew.kind = kind;

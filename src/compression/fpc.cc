@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/bits.h"
 #include "common/log.h"
 
@@ -126,7 +127,7 @@ fpc_try_pattern(FpcPattern p, Word w, unsigned k)
 }
 
 std::optional<FpcMatch>
-fpc_match(Word w, unsigned k)
+fpc_match_ref(Word w, unsigned k)
 {
     static constexpr FpcPattern kPriority[] = {
         FpcPattern::ZeroRun, FpcPattern::Sign4, FpcPattern::Sign8,
@@ -137,6 +138,14 @@ fpc_match(Word w, unsigned k)
             return m;
     }
     return std::nullopt;
+}
+
+std::optional<FpcMatch>
+fpc_match(Word w, unsigned k)
+{
+    if (k == 0)
+        return fpc_match_exact(w);
+    return fpc_match_ref(w, k);
 }
 
 Word
@@ -173,11 +182,21 @@ FpcCodec::encode(const DataBlock &block, NodeId, NodeId, Cycle)
     return enc;
 }
 
+EncodedBlock
+FpcCodec::encodeSpan(const DataBlock &block, NodeId, NodeId, Cycle,
+                     Arena &arena)
+{
+    noteEncoded(block.size());
+    EncodedBlock enc =
+        fpc_encode_block(block, [](std::size_t) { return 0u; }, &arena);
+    noteBlockEncoded(enc);
+    return enc;
+}
+
 std::uint64_t
-fpc_decode_block(const EncodedBlock &enc, std::vector<Word> &out)
+fpc_decode_block(const EncodedBlock &enc, Word *out)
 {
     std::uint64_t mismatches = 0;
-    out.reserve(out.size() + enc.wordCount());
     for (const auto &w : enc.words()) {
         Word v = w.uncompressed
                      ? w.payload
@@ -185,7 +204,7 @@ fpc_decode_block(const EncodedBlock &enc, std::vector<Word> &out)
         if (v != w.decoded)
             ++mismatches;
         for (unsigned r = 0; r < w.run; ++r)
-            out.push_back(v);
+            *out++ = v;
     }
     return mismatches;
 }
@@ -195,9 +214,21 @@ FpcCodec::decode(const EncodedBlock &enc, NodeId, NodeId, Cycle)
 {
     noteDecoded(enc.wordCount());
     noteBlockDecoded();
-    std::vector<Word> ws;
-    noteMismatches(fpc_decode_block(enc, ws));
+    std::vector<Word> ws(enc.wordCount());
+    noteMismatches(fpc_decode_block(enc, ws.data()));
     return DataBlock(std::move(ws), enc.type(), enc.approximable());
+}
+
+DecodedSpan
+FpcCodec::decodeSpan(const EncodedBlock &enc, NodeId, NodeId, Cycle,
+                     Arena &arena)
+{
+    noteDecoded(enc.wordCount());
+    noteBlockDecoded();
+    Word *buf = arena.alloc<Word>(enc.wordCount());
+    noteMismatches(fpc_decode_block(enc, buf));
+    return DecodedSpan{buf, enc.wordCount(), enc.type(),
+                       enc.approximable()};
 }
 
 } // namespace approxnoc

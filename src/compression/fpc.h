@@ -11,10 +11,12 @@
 #ifndef APPROXNOC_COMPRESSION_FPC_H
 #define APPROXNOC_COMPRESSION_FPC_H
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "common/bits.h"
 #include "common/contract.h"
 #include "common/types.h"
 
@@ -65,8 +67,90 @@ std::optional<FpcMatch> fpc_try_pattern(FpcPattern p, Word w, unsigned k);
 /**
  * Match @p w against the whole table in priority (table) order with
  * @p k don't-care bits. Never returns Uncompressed: a miss is nullopt.
+ * k = 0 takes the branchless fast path (fpc_match_exact); k > 0 runs
+ * the don't-care solver.
  */
 std::optional<FpcMatch> fpc_match(Word w, unsigned k = 0);
+
+/**
+ * Reference matcher: always the pattern-by-pattern solver loop, even
+ * for k = 0. This is the executable specification the branchless
+ * fpc_match_exact is differentially fuzzed against
+ * (tests/test_simd_diff.cc); production code should call fpc_match.
+ */
+std::optional<FpcMatch> fpc_match_ref(Word w, unsigned k = 0);
+
+namespace detail {
+
+/** Sign-extension class by significant-bit count (two's-complement
+ * width): sb <= 4 -> Sign4, <= 8 -> Sign8, <= 16 -> Sign16, else no
+ * sign pattern applies (bits = 0 sentinel). Index 0 is unused (sb of
+ * any word is at least 1). */
+struct FpcSignClass {
+    FpcPattern pattern;
+    std::uint8_t bits;
+};
+
+inline constexpr FpcSignClass kFpcSignClass[33] = {
+    {FpcPattern::Uncompressed, 0}, // sb = 0 (unreachable)
+    {FpcPattern::Sign4, 4},   {FpcPattern::Sign4, 4},
+    {FpcPattern::Sign4, 4},   {FpcPattern::Sign4, 4},   // sb 1..4
+    {FpcPattern::Sign8, 8},   {FpcPattern::Sign8, 8},
+    {FpcPattern::Sign8, 8},   {FpcPattern::Sign8, 8},   // sb 5..8
+    {FpcPattern::Sign16, 16}, {FpcPattern::Sign16, 16},
+    {FpcPattern::Sign16, 16}, {FpcPattern::Sign16, 16},
+    {FpcPattern::Sign16, 16}, {FpcPattern::Sign16, 16},
+    {FpcPattern::Sign16, 16}, {FpcPattern::Sign16, 16}, // sb 9..16
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0},
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0},
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0},
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0},
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0},
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0},
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0},
+    {FpcPattern::Uncompressed, 0}, {FpcPattern::Uncompressed, 0}, // 17..32
+};
+
+} // namespace detail
+
+/**
+ * Branchless-classified exact (k = 0) matcher, the per-word hot path
+ * of fpc_encode_block. One significant-bit count (xor with the sign
+ * smear, then countl_zero) indexes the class table and decides all
+ * three sign-extension patterns at once, replacing the solver's
+ * per-pattern constraint walk; the two halfword patterns reduce to a
+ * zero test and two unsigned range checks. Bit-identical to
+ * fpc_match_ref(w, 0) by the priority argument in docs/perf.md,
+ * enforced exhaustively-at-the-boundaries plus randomized in
+ * tests/test_simd_diff.cc.
+ */
+inline std::optional<FpcMatch>
+fpc_match_exact(Word w)
+{
+    if (w == 0)
+        return FpcMatch{FpcPattern::ZeroRun, 0, 0};
+    // Two's-complement width of w: xor with the all-sign-bits smear
+    // clears the redundant sign copies, so sb = 33 - clz covers the
+    // value plus one sign bit. sb is in [1, 32].
+    const Word smear =
+        static_cast<Word>(static_cast<std::int32_t>(w) >> 31);
+    const unsigned sb =
+        33u - static_cast<unsigned>(std::countl_zero(w ^ smear));
+    const detail::FpcSignClass cls = detail::kFpcSignClass[sb];
+    if (cls.bits)
+        return FpcMatch{cls.pattern, w, w & low_mask32(cls.bits)};
+    if ((w & 0xFFFFu) == 0)
+        return FpcMatch{FpcPattern::HalfPadded, w, w >> 16};
+    const std::uint32_t lo = w & 0xFFFFu;
+    const std::uint32_t hi = w >> 16;
+    // A halfword is byte-sign-extended iff adding 0x80 lands in
+    // [0, 0x100) mod 2^16 (bits [15:8] all equal to bit 7).
+    if (static_cast<std::uint16_t>(lo + 0x80u) < 0x100u &&
+        static_cast<std::uint16_t>(hi + 0x80u) < 0x100u)
+        return FpcMatch{FpcPattern::TwoHalfSign8, w,
+                        ((hi & 0xFFu) << 8) | (lo & 0xFFu)};
+    return std::nullopt;
+}
 
 /** Reconstruct a word from a pattern + payload (the decoder datapath). */
 Word fpc_decode(FpcPattern p, std::uint32_t payload);
@@ -74,13 +158,14 @@ Word fpc_decode(FpcPattern p, std::uint32_t payload);
 /**
  * Stateless block-level FPC decode shared by FpcCodec, FpVaxxCodec and
  * WindowVaxxCodec (the paper: approximation is encoder-only, so their
- * NRs decode identically). Appends the reconstructed words to @p out,
- * expanding zero runs. Returns the count of decoder-vs-encoder
+ * NRs decode identically). Writes exactly enc.wordCount()
+ * reconstructed words to @p out, expanding zero runs — a raw output
+ * pointer so both the heap (DataBlock) and zero-copy (arena span)
+ * decode paths share it. Returns the count of decoder-vs-encoder
  * expectation mismatches so the caller can record them once per block
  * (CodecSystem::noteMismatches) instead of per word.
  */
-std::uint64_t fpc_decode_block(const EncodedBlock &enc,
-                               std::vector<Word> &out);
+std::uint64_t fpc_decode_block(const EncodedBlock &enc, Word *out);
 
 /**
  * The FP-COMP codec: stateless per-word FPC with block-level zero-run
@@ -103,21 +188,28 @@ class FpcCodec : public CodecSystem
 
     EncodedBlock encode(const DataBlock &block, NodeId src, NodeId dst,
                         Cycle now) override;
+    EncodedBlock encodeSpan(const DataBlock &block, NodeId src, NodeId dst,
+                            Cycle now, Arena &arena) override;
     DataBlock decode(const EncodedBlock &enc, NodeId src, NodeId dst,
                      Cycle now) override;
+    DecodedSpan decodeSpan(const EncodedBlock &enc, NodeId src, NodeId dst,
+                           Cycle now, Arena &arena) override;
 };
 
 /**
  * Block-level FPC encoding helper used by both FpcCodec and FpVaxxCodec:
  * @p k_of_word yields the per-word don't-care count (0 when exact).
  * Merges consecutive zero words (exact or approximated-to-zero) into
- * zero-run units.
+ * zero-run units. @p mr backs the NR's word storage (null = heap);
+ * the zero-copy encodeSpan paths pass their batch arena here.
  */
 template <typename KFn>
 EncodedBlock
-fpc_encode_block(const DataBlock &block, KFn &&k_of_word)
+fpc_encode_block(const DataBlock &block, KFn &&k_of_word,
+                 std::pmr::memory_resource *mr = nullptr)
 {
-    EncodedBlock enc;
+    EncodedBlock enc(mr);
+    enc.reserve(block.size());
     std::size_t i = 0;
     const std::size_t n = block.size();
     while (i < n) {
@@ -171,7 +263,8 @@ fpc_encode_block(const DataBlock &block, KFn &&k_of_word)
     // rides in the (uncompressed) head flit.
     if (enc.bits() > block.sizeBits() && block.size() > 0)
         return raw_encoded_block(
-            block, static_cast<std::uint8_t>(FpcPattern::Uncompressed));
+            block, static_cast<std::uint8_t>(FpcPattern::Uncompressed), 32,
+            mr);
     return enc;
 }
 

@@ -28,21 +28,26 @@ elapsed_ns(profile_clock::time_point t0)
  * machinery both directions run on. Partitions @p reqs by @p key
  * (preserving submission order inside each shard, enumerating shards
  * in first-appearance order so the partition itself is deterministic),
- * applies @p op to every request — inline on the calling thread for
- * the serial reference path (jobs <= 1 or a single shard), else one
- * runner job per shard — and writes each result at its request index.
- * Throws std::runtime_error naming the lowest-index failing shard's
- * endpoint; the remaining shards still run to completion.
+ * calls @p prep once with the shard count (arena provisioning happens
+ * there, on the calling thread, before any worker starts), applies
+ * @p op to every request together with its shard index — inline on the
+ * calling thread for the serial reference path (jobs <= 1 or a single
+ * shard), else one runner job per shard — and writes each result at
+ * its request index. Throws std::runtime_error naming the lowest-index
+ * failing shard's endpoint; the remaining shards still run to
+ * completion.
  */
-template <typename Req, typename Out, typename KeyFn, typename OpFn>
+template <typename Req, typename Out, typename KeyFn, typename PrepFn,
+          typename OpFn>
 std::vector<Out>
 shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
             std::size_t &last_shards, ShardStats *stats, const char *what,
-            const char *key_name, KeyFn key, OpFn op)
+            const char *key_name, KeyFn key, PrepFn prep, OpFn op)
 {
     std::vector<Out> out(reqs.size());
 
     std::vector<std::vector<std::size_t>> shards;
+    std::vector<std::size_t> shard_of(reqs.size());
     std::unordered_map<NodeId, std::size_t> shard_of_key;
     shards.reserve(16);
     for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -50,8 +55,10 @@ shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
         if (fresh)
             shards.emplace_back();
         shards[it->second].push_back(i);
+        shard_of[i] = it->second;
     }
     last_shards = shards.size();
+    prep(shards.size());
 
     // The serial reference path: one thread, submission order. This is
     // the executable specification the sharded path must match
@@ -60,14 +67,14 @@ shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
     if (runner.jobs() <= 1 || shards.size() <= 1) {
         if (!stats) {
             for (std::size_t i = 0; i < reqs.size(); ++i)
-                out[i] = op(reqs[i]);
+                out[i] = op(reqs[i], shard_of[i]);
             return out;
         }
         // The serial reference path genuinely runs as one unit of
         // work, so it is accounted as a single shard slot.
         const auto t0 = profile_clock::now();
         for (std::size_t i = 0; i < reqs.size(); ++i)
-            out[i] = op(reqs[i]);
+            out[i] = op(reqs[i], shard_of[i]);
         const std::uint64_t ns = elapsed_ns(t0);
         ++stats->batches;
         stats->blocks += reqs.size();
@@ -85,12 +92,12 @@ shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
     auto statuses = runner.run(shards.size(), [&](std::size_t s) {
         if (!stats) {
             for (std::size_t i : shards[s])
-                out[i] = op(reqs[i]);
+                out[i] = op(reqs[i], s);
             return;
         }
         const auto t0 = profile_clock::now();
         for (std::size_t i : shards[s])
-            out[i] = op(reqs[i]);
+            out[i] = op(reqs[i], s);
         busy[s] = elapsed_ns(t0);
     });
     if (stats) {
@@ -118,30 +125,78 @@ shard_apply(const std::vector<Req> &reqs, ExperimentRunner &runner,
     return out;
 }
 
+/**
+ * Reset every retained arena (rewinds cursors, keeps chunk capacity)
+ * and grow the pool to @p nshards. Runs on the batch's calling thread
+ * before any shard starts, so a shard only ever sees its own arena.
+ */
+void
+prepare_arenas(std::vector<std::unique_ptr<Arena>> &arenas,
+               std::size_t nshards)
+{
+    for (auto &a : arenas)
+        a->reset();
+    while (arenas.size() < nshards)
+        arenas.push_back(std::make_unique<Arena>());
+}
+
+std::size_t
+arenas_bytes_reserved(const std::vector<std::unique_ptr<Arena>> &arenas)
+{
+    std::size_t total = 0;
+    for (const auto &a : arenas)
+        total += a->bytesReserved();
+    return total;
+}
+
 } // namespace
 
 FlowShardedEncoder::FlowShardedEncoder(CodecSystem &codec, unsigned jobs)
     : codec_(codec), runner_(jobs)
 {}
 
+std::size_t
+FlowShardedEncoder::arenaBytesReserved() const
+{
+    return arenas_bytes_reserved(arenas_);
+}
+
 std::vector<EncodedBlock>
 FlowShardedEncoder::encodeAll(const std::vector<EncodeRequest> &reqs)
 {
+    auto key = [](const EncodeRequest &r) {
+        ANOC_ASSERT(r.block != nullptr, "encode request without a block");
+        return r.src;
+    };
+    if (!arena_mode_) {
+        return shard_apply<EncodeRequest, EncodedBlock>(
+            reqs, runner_, last_shards_, profiling_ ? &stats_ : nullptr,
+            "flow-sharded encode", "src", key, [](std::size_t) {},
+            [this](const EncodeRequest &r, std::size_t) {
+                return codec_.encodeBlock(*r.block, r.src, r.dst, r.now);
+            });
+    }
+    // Arena mode: the previous batch's blocks die here (reset inside
+    // prep), then each shard bump-allocates from its own arena.
     return shard_apply<EncodeRequest, EncodedBlock>(
         reqs, runner_, last_shards_, profiling_ ? &stats_ : nullptr,
-        "flow-sharded encode", "src",
-        [](const EncodeRequest &r) {
-            ANOC_ASSERT(r.block != nullptr, "encode request without a block");
-            return r.src;
-        },
-        [this](const EncodeRequest &r) {
-            return codec_.encodeBlock(*r.block, r.src, r.dst, r.now);
+        "flow-sharded encode", "src", key,
+        [this](std::size_t nshards) { prepare_arenas(arenas_, nshards); },
+        [this](const EncodeRequest &r, std::size_t s) {
+            return codec_.encodeSpan(*r.block, r.src, r.dst, r.now,
+                                     *arenas_[s]);
         });
 }
 
 FlowShardedDecoder::FlowShardedDecoder(CodecSystem &codec, unsigned jobs)
     : codec_(codec), runner_(jobs)
 {}
+
+std::size_t
+FlowShardedDecoder::arenaBytesReserved() const
+{
+    return arenas_bytes_reserved(arenas_);
+}
 
 std::vector<DataBlock>
 FlowShardedDecoder::decodeAll(const std::vector<DecodeRequest> &reqs)
@@ -153,8 +208,26 @@ FlowShardedDecoder::decodeAll(const std::vector<DecodeRequest> &reqs)
             ANOC_ASSERT(r.enc != nullptr, "decode request without a block");
             return r.dst;
         },
-        [this](const DecodeRequest &r) {
+        [](std::size_t) {},
+        [this](const DecodeRequest &r, std::size_t) {
             return codec_.decodeBlock(*r.enc, r.src, r.dst, r.now);
+        });
+}
+
+std::vector<DecodedSpan>
+FlowShardedDecoder::decodeAllSpans(const std::vector<DecodeRequest> &reqs)
+{
+    return shard_apply<DecodeRequest, DecodedSpan>(
+        reqs, runner_, last_shards_, profiling_ ? &stats_ : nullptr,
+        "flow-sharded span decode", "dst",
+        [](const DecodeRequest &r) {
+            ANOC_ASSERT(r.enc != nullptr, "decode request without a block");
+            return r.dst;
+        },
+        [this](std::size_t nshards) { prepare_arenas(arenas_, nshards); },
+        [this](const DecodeRequest &r, std::size_t s) {
+            return codec_.decodeSpan(*r.enc, r.src, r.dst, r.now,
+                                     *arenas_[s]);
         });
 }
 

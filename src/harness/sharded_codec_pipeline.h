@@ -35,8 +35,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/contract.h"
 #include "common/data_block.h"
 #include "common/types.h"
@@ -148,6 +150,22 @@ class FlowShardedEncoder
      * available parallelism (shards are the unit of scheduling). */
     std::size_t lastShardCount() const { return last_shards_; }
 
+    /**
+     * Zero-copy mode: route encodes through CodecSystem::encodeSpan so
+     * every block's word storage lands in a per-shard bump arena
+     * instead of per-block heap allocations. Output bits are identical;
+     * only the storage backing changes. The arenas are reset at the
+     * START of the next encodeAll() call, so a batch's EncodedBlocks
+     * stay valid until then (copying one detaches it to the heap).
+     */
+    void setArenaMode(bool on) { arena_mode_ = on; }
+    bool arenaMode() const { return arena_mode_; }
+
+    /** Arenas currently provisioned (grows to the widest batch seen). */
+    std::size_t arenaShards() const { return arenas_.size(); }
+    /** Bytes of chunk capacity retained across all shard arenas. */
+    std::size_t arenaBytesReserved() const;
+
     /** Toggle per-shard timing; off (the default) costs one branch per
      * batch. Timings accumulate in stats() across batches. */
     void setProfiling(bool on) { profiling_ = on; }
@@ -162,6 +180,11 @@ class FlowShardedEncoder
     ANOC_REGION_SHARED std::size_t last_shards_ = 0;
     ANOC_REGION_SHARED bool profiling_ = false;
     ANOC_REGION_SHARED ShardStats stats_;
+    ANOC_REGION_SHARED bool arena_mode_ = false;
+    /** One bump arena per shard slot: during a batch, shard s allocates
+     * exclusively from arenas_[s]; the vector itself is grown/reset
+     * only between batches, on the calling thread. */
+    ANOC_SHARD_LOCAL std::vector<std::unique_ptr<Arena>> arenas_;
 };
 
 /**
@@ -192,8 +215,25 @@ class FlowShardedDecoder
      */
     std::vector<DataBlock> decodeAll(const std::vector<DecodeRequest> &reqs);
 
+    /**
+     * Zero-copy twin of decodeAll(): decode through
+     * CodecSystem::decodeSpan and return views whose word storage lives
+     * in per-shard bump arenas. The decoded words are byte-identical to
+     * decodeAll()'s; only the storage backing changes. Every span is
+     * invalidated by the next decodeAllSpans() call (the arenas are
+     * reset at its start) — copy words out before then if they must
+     * outlive the batch.
+     */
+    std::vector<DecodedSpan>
+    decodeAllSpans(const std::vector<DecodeRequest> &reqs);
+
     /** Distinct decoder endpoints in the last decodeAll() batch. */
     std::size_t lastShardCount() const { return last_shards_; }
+
+    /** Arenas currently provisioned (grows to the widest batch seen). */
+    std::size_t arenaShards() const { return arenas_.size(); }
+    /** Bytes of chunk capacity retained across all shard arenas. */
+    std::size_t arenaBytesReserved() const;
 
     /** Toggle per-shard timing; off (the default) costs one branch per
      * batch. Timings accumulate in stats() across batches. */
@@ -209,6 +249,9 @@ class FlowShardedDecoder
     ANOC_REGION_SHARED std::size_t last_shards_ = 0;
     ANOC_REGION_SHARED bool profiling_ = false;
     ANOC_REGION_SHARED ShardStats stats_;
+    /** One bump arena per shard slot (see FlowShardedEncoder::arenas_);
+     * only decodeAllSpans() touches these. */
+    ANOC_SHARD_LOCAL std::vector<std::unique_ptr<Arena>> arenas_;
 };
 
 /**
@@ -249,6 +292,17 @@ class ShardedCodecPipeline
     {
         return decoder_.decodeAll(reqs);
     }
+
+    std::vector<DecodedSpan>
+    decodeAllSpans(const std::vector<DecodeRequest> &reqs)
+    {
+        return decoder_.decodeAllSpans(reqs);
+    }
+
+    /** Zero-copy encode batches: see FlowShardedEncoder::setArenaMode.
+     * (Span decodes always run arena-backed; no toggle needed.) */
+    void setArenaMode(bool on) { encoder_.setArenaMode(on); }
+    bool arenaMode() const { return encoder_.arenaMode(); }
 
     /** Both phases of one batch, submission-indexed. */
     struct RoundTripResult {

@@ -1,0 +1,137 @@
+#include "tcam/match_kernel.h"
+
+#include <cstdio>
+
+// The AVX2 kernel compiles whenever the toolchain can *target* AVX2
+// (any x86-64 gcc/clang, via the function-level target attribute, so
+// the rest of the object keeps the build's default codegen) — not only
+// when the whole build runs with -mavx2. The scalar twin below is the
+// mandatory fallback the S1 lint rule pins to a named differential
+// test; on non-x86 builds match64_avx2 degenerates to it.
+#if defined(__AVX2__) || \
+    (defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)))
+// anoc-simd-test: SimdDiff.KernelsBitIdenticalOnRandomPlanes
+#define ANOC_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define ANOC_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace approxnoc::simd {
+
+std::uint64_t
+match64_scalar(const std::uint64_t *planes, std::uint64_t valid,
+               std::uint32_t key)
+{
+    std::uint64_t m = valid;
+    for (unsigned b = 0; b < 32 && m; b += 4) {
+        const std::uint64_t p0 = planes[b + 0 + (((key >> (b + 0)) & 1u) << 5)];
+        const std::uint64_t p1 = planes[b + 1 + (((key >> (b + 1)) & 1u) << 5)];
+        const std::uint64_t p2 = planes[b + 2 + (((key >> (b + 2)) & 1u) << 5)];
+        const std::uint64_t p3 = planes[b + 3 + (((key >> (b + 3)) & 1u) << 5)];
+        m &= p0 & p1 & p2 & p3;
+    }
+    return m;
+}
+
+#if ANOC_HAVE_AVX2_KERNEL
+// anoc-simd-test: SimdDiff.KernelsBitIdenticalOnRandomPlanes
+
+bool
+avx2_kernel_compiled()
+{
+    return true;
+}
+
+[[gnu::target("avx2")]] std::uint64_t
+match64_avx2(const std::uint64_t *planes, std::uint64_t valid,
+             std::uint32_t key)
+{
+    if (!valid)
+        return 0;
+    const __m256i kvec = _mm256_set1_epi64x(static_cast<long long>(key));
+    const __m256i ones = _mm256_set1_epi64x(1);
+    const __m256i four = _mm256_set1_epi64x(4);
+    __m256i shifts = _mm256_setr_epi64x(0, 1, 2, 3);
+    __m256i acc = _mm256_set1_epi64x(-1);
+    for (unsigned b = 0; b < 32; b += 4) {
+        const __m256i z = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(planes + b));
+        const __m256i o = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(planes + b + 32));
+        // Lane l holds key bit b+l; compare against 1 to get an
+        // all-ones select mask, then blend o over z by masked xor.
+        const __m256i kb =
+            _mm256_and_si256(_mm256_srlv_epi64(kvec, shifts), ones);
+        const __m256i take_one = _mm256_cmpeq_epi64(kb, ones);
+        const __m256i sel = _mm256_xor_si256(
+            z, _mm256_and_si256(_mm256_xor_si256(z, o), take_one));
+        acc = _mm256_and_si256(acc, sel);
+        if (_mm256_testz_si256(acc, acc))
+            return 0;
+        shifts = _mm256_add_epi64(shifts, four);
+    }
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    const __m128i both = _mm_and_si128(lo, hi);
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(both)) &
+        static_cast<std::uint64_t>(_mm_extract_epi64(both, 1));
+    return m & valid;
+}
+
+#else // scalar twin: toolchain cannot target AVX2 on this arch
+
+bool
+avx2_kernel_compiled()
+{
+    return false;
+}
+
+std::uint64_t
+match64_avx2(const std::uint64_t *planes, std::uint64_t valid,
+             std::uint32_t key)
+{
+    return match64_scalar(planes, valid, key);
+}
+
+#endif
+
+SimdLevel
+resolve_simd_level(SimdRequest request, bool avx2_available)
+{
+    switch (request) {
+    case SimdRequest::Scalar:
+        return SimdLevel::Scalar;
+    case SimdRequest::Avx2:
+    case SimdRequest::Auto:
+        return avx2_available ? SimdLevel::Avx2 : SimdLevel::Scalar;
+    }
+    return SimdLevel::Scalar;
+}
+
+SimdLevel
+active_simd_level()
+{
+    static const SimdLevel cached = [] {
+        const SimdRequest req = requested_simd_level();
+        const bool available = avx2_kernel_compiled() && cpu_has_avx2();
+        const SimdLevel level = resolve_simd_level(req, available);
+        if (req == SimdRequest::Avx2 && level != SimdLevel::Avx2)
+            std::fprintf(stderr,
+                         "approxnoc: ANOC_SIMD=avx2 requested but AVX2 is "
+                         "unavailable on this host/build; using the scalar "
+                         "match kernel\n");
+        return level;
+    }();
+    return cached;
+}
+
+MatchFn
+match64_kernel()
+{
+    return active_simd_level() == SimdLevel::Avx2 ? match64_avx2
+                                                  : match64_scalar;
+}
+
+} // namespace approxnoc::simd

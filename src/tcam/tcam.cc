@@ -25,7 +25,7 @@ Tcam::Tcam(std::size_t n_entries, ReplacementPolicy policy)
     : capacity_(n_entries), chunks_((n_entries + 63) / 64),
       entries_(n_entries), planes_(64 * chunks_, 0),
       valid_bits_(chunks_, 0), last_use_(n_entries, 0), freq_(n_entries, 0),
-      policy_(policy)
+      policy_(policy), match_fn_(simd::match64_kernel())
 {
     ANOC_ASSERT(n_entries > 0, "TCAM must have at least one entry");
 }
@@ -33,11 +33,11 @@ Tcam::Tcam(std::size_t n_entries, ReplacementPolicy policy)
 void
 Tcam::writeSlotPlanes(std::size_t slot, const TernaryPattern *p)
 {
-    const std::size_t c = slot >> 6;
+    const std::size_t base = (slot >> 6) << 6; // this chunk's 64 planes
     const std::uint64_t bit = 1ull << (slot & 63);
     for (unsigned b = 0; b < 32; ++b) {
-        std::uint64_t &p0 = planes_[(b << 1) * chunks_ + c];
-        std::uint64_t &p1 = planes_[((b << 1) | 1u) * chunks_ + c];
+        std::uint64_t &p0 = planes_[base + b];
+        std::uint64_t &p1 = planes_[base + 32 + b];
         p0 &= ~bit;
         p1 &= ~bit;
         if (!p)

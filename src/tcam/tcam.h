@@ -31,6 +31,7 @@
 #include "common/types.h"
 
 #include "tcam/cam.h"
+#include "tcam/match_kernel.h"
 
 namespace approxnoc {
 
@@ -187,15 +188,15 @@ class Tcam
     std::size_t pickVictim() const;
 
     /** 64-entry match bitmap for chunk @p c: AND of the 32 key-bit
-     * planes over the valid mask, zero as soon as no entry survives. */
+     * planes over the valid mask, zero as soon as no entry survives.
+     * The chunk's planes are contiguous (see planes_), so the kernel
+     * gets one base pointer and does no per-bit stride arithmetic;
+     * which kernel runs (scalar x4 / AVX2) was resolved once in the
+     * constructor and is bit-identical either way. */
     std::uint64_t
     matchChunk(Word key, std::size_t c) const
     {
-        std::uint64_t m = valid_bits_[c];
-        const std::uint64_t *p = planes_.data() + c;
-        for (unsigned b = 0; b < 32 && m; ++b)
-            m &= p[(((b << 1) | ((key >> b) & 1u)) * chunks_)];
-        return m;
+        return match_fn_(planes_.data() + (c << 6), valid_bits_[c], key);
     }
 
     /** Rewrite slot @p slot's bits in all 64 planes; null @p p clears. */
@@ -205,8 +206,10 @@ class Tcam
     ANOC_SHARD_LOCAL std::size_t chunks_; ///< ceil(capacity / 64) bitmap words
     ANOC_SHARD_LOCAL std::vector<TernaryPattern> entries_;
     /** Bit-slice planes: plane (b, v) holds, for every slot, whether the
-     * entry matches a key whose bit b equals v. Flattened as
-     * planes_[((b << 1) | v) * chunks_ + chunk]. */
+     * entry matches a key whose bit b equals v. Chunk-major so one
+     * chunk's 64 planes are contiguous for the match kernels:
+     * planes_[(chunk << 6) + (v << 5) + b] — a chunk's 32 zero-planes
+     * first, then its 32 one-planes. */
     ANOC_SHARD_LOCAL std::vector<std::uint64_t> planes_;
     ANOC_SHARD_LOCAL std::vector<std::uint64_t> valid_bits_;
     ANOC_SHARD_LOCAL std::vector<std::uint64_t> last_use_;
@@ -220,6 +223,10 @@ class Tcam
      * race only on this count, never on match state. */
     ANOC_CROSS_SHARD(RelaxedCounter) mutable RelaxedCounter peeks_;
     ANOC_SHARD_LOCAL std::uint64_t writes_ = 0;
+    /** Match kernel resolved once at construction (common/simd.h
+     * request clamped by host capability); cached per instance so the
+     * hot loop is one indirect call with no dispatch re-check. */
+    ANOC_SHARD_LOCAL simd::MatchFn match_fn_;
 };
 
 } // namespace approxnoc

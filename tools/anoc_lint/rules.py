@@ -45,6 +45,7 @@ RULES = {
     "D2": "no unordered-container iteration (order-dependent output)",
     "C1": "contract classes must annotate every shared-state field",
     "C2": "API hygiene (deprecated shims, double probes, notify_delay)",
+    "S1": "AVX2 guards need a scalar twin and a named differential test",
     "SUP": "suppressions must carry a reason and name real rules",
 }
 
@@ -261,6 +262,111 @@ def _check_double_probe(sf: SourceFile, lines: list[str]) -> list[Finding]:
     return out
 
 
+# ---------------------------------------------------------------- S1 --
+
+# Any preprocessor conditional whose condition mentions AVX2 — the
+# literal __AVX2__ feature macro or a derived guard like
+# ANOC_HAVE_AVX2_KERNEL. Matched against the *logical* directive line
+# (backslash continuations joined).
+_S1_GUARD_RE = re.compile(r"^\s*#\s*(el)?if(?:n?def)?\b.*AVX2")
+_S1_IF_RE = re.compile(r"^\s*#\s*if(?:n?def)?\b")
+_S1_ELSE_RE = re.compile(r"^\s*#\s*(?:else\b|elif\b)")
+_S1_ENDIF_RE = re.compile(r"^\s*#\s*endif\b")
+
+# `// anoc-simd-test: Suite.Name` — names the differential test that
+# exercises both sides of the guard. Read from raw text (it is a
+# comment, which sanitization blanks).
+_S1_MARKER_RE = re.compile(
+    r"anoc-simd-test:\s*([A-Za-z_]\w*)\s*\.\s*([A-Za-z_]\w*)")
+
+# How many raw lines above the #if the marker may sit.
+_S1_MARKER_LOOKBACK = 3
+
+
+def _logical_lines(text: str) -> list[tuple[int, str]]:
+    """(first_lineno, joined_text) pairs with backslash continuations
+    folded, so a wrapped #if condition is matched as one line."""
+    out: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        start = i
+        cur = lines[i]
+        while cur.rstrip().endswith("\\") and i + 1 < len(lines):
+            i += 1
+            cur = cur.rstrip()[:-1] + " " + lines[i]
+        out.append((start + 1, cur))
+        i += 1
+    return out
+
+
+def _s1_test_exists(tree: Tree, suite: str, name: str) -> bool:
+    """Does TEST/TEST_F/TEST_P(suite, name) exist under tests/?"""
+    pat = re.compile(
+        r"TEST(?:_F|_P)?\s*\(\s*" + re.escape(suite)
+        + r"\s*,\s*" + re.escape(name) + r"\s*[,)]")
+    for path, dep in tree.files.items():
+        if path.startswith("tests/") and pat.search(dep.sanitized):
+            return True
+    return False
+
+
+def check_s1(sf: SourceFile, tree: Tree) -> list[Finding]:
+    """Every AVX2-conditional compilation site must carry (a) a scalar
+    `#else`/`#elif` twin at the guard's own nesting depth, so non-AVX2
+    builds get a real fallback rather than a hole, and (b) an
+    `anoc-simd-test: Suite.Name` marker naming an existing differential
+    test in tests/, so the twin pair is provably exercised
+    bit-identically (see docs/perf.md, SIMD match kernels)."""
+    logical = _logical_lines(sf.text)
+    raw_lines = sf.text.splitlines()
+    out = []
+    for idx, (lineno, text) in enumerate(logical):
+        if not _S1_GUARD_RE.match(text):
+            continue
+        # Walk to the guard's matching #endif, noting a same-depth
+        # #else/#elif. A flagged #elif starts inside its #if, which
+        # the same depth-1 bookkeeping handles.
+        depth = 1
+        has_twin = False
+        end_lineno = logical[-1][0]
+        for nxt_lineno, nxt in logical[idx + 1:]:
+            if _S1_IF_RE.match(nxt):
+                depth += 1
+            elif _S1_ENDIF_RE.match(nxt):
+                depth -= 1
+                if depth == 0:
+                    end_lineno = nxt_lineno
+                    break
+            elif depth == 1 and _S1_ELSE_RE.match(nxt):
+                has_twin = True
+        if not has_twin:
+            out.append(Finding(
+                "S1", sf.path, lineno,
+                "AVX2-guarded block has no scalar #else/#elif twin; "
+                "every SIMD site needs a portable fallback compiled on "
+                "non-AVX2 builds"))
+        # Marker: inside the guarded span, or just above the #if.
+        lo = max(0, lineno - 1 - _S1_MARKER_LOOKBACK)
+        window = "\n".join(raw_lines[lo:end_lineno])
+        markers = _S1_MARKER_RE.findall(window)
+        if not markers:
+            out.append(Finding(
+                "S1", sf.path, lineno,
+                "AVX2-guarded block has no 'anoc-simd-test: Suite.Name' "
+                "marker naming the differential test that locks the "
+                "SIMD/scalar pair together"))
+            continue
+        for suite, name in markers:
+            if not _s1_test_exists(tree, suite, name):
+                out.append(Finding(
+                    "S1", sf.path, lineno,
+                    f"anoc-simd-test marker names '{suite}.{name}', "
+                    f"but no TEST/TEST_F/TEST_P({suite}, {name}) exists "
+                    f"under tests/"))
+    return out
+
+
 # --------------------------------------------------------------- SUP --
 
 def check_sup(sf: SourceFile) -> list[Finding]:
@@ -290,7 +396,8 @@ def run_all(tree: Tree, paths: list[str] | None = None) -> list[Finding]:
             continue
         sf = tree.files[path]
         file_findings = (check_d1(sf) + check_d2(sf, tree) + check_c1(sf)
-                         + check_c2(sf, tree) + check_sup(sf))
+                         + check_c2(sf, tree) + check_s1(sf, tree)
+                         + check_sup(sf))
         _apply_suppressions(sf, file_findings)
         findings.extend(file_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
